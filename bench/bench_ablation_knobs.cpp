@@ -1,0 +1,97 @@
+// Ablation: sensitivity of the reproduced effects to the key model knobs
+// (DESIGN.md section 4).
+//
+//  1. TCP cache penalty -> Figure 10's per-call dilation.
+//  2. SMP compute dilation -> the residual 64x2-vs-128x1 gap (Table 2).
+//  3. Instrumentation density -> ProfAll perturbation (Table 3).
+//
+// Each sweep runs a reduced workload; the point is the trend, not the
+// absolute numbers.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/perturb.hpp"
+
+using namespace ktau;
+using namespace ktau::expt;
+
+namespace {
+
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.05);
+  bench::print_header("Ablations: cache penalty / SMP dilation / probe "
+                      "density",
+                      scale);
+
+  // -- 1. cache penalty sweep (Fig 10 mechanism) -----------------------------
+  std::printf("\n[1] tcp_rcv cache penalty -> per-TCP-call dilation, 64x2 "
+              "Pin,I-Bal vs 128x1 (paper ~+11.5%%)\n");
+  for (const std::uint64_t penalty : {0ULL, 2100ULL, 4200ULL, 8400ULL}) {
+    auto run_one = [&](ChibaConfig config) {
+      ChibaRunConfig cfg;
+      cfg.workload = Workload::Sweep3D;
+      cfg.scale = scale;
+      cfg.config = config;
+      cfg.tcp_cache_penalty_override = penalty;
+      return run_chiba(cfg);
+    };
+    const auto base = run_one(ChibaConfig::C128x1);
+    const auto smp = run_one(ChibaConfig::C64x2PinIbal);
+    const double t0 = median_of(bench::metric_of(
+        base, [](const RankStats& rs) { return rs.tcp_rcv_us_per_call; }));
+    const double t1 = median_of(bench::metric_of(
+        smp, [](const RankStats& rs) { return rs.tcp_rcv_us_per_call; }));
+    std::printf("    penalty %5llu cycles: %.1f us -> %.1f us (+%.1f%%)\n",
+                static_cast<unsigned long long>(penalty), t0, t1,
+                (t1 - t0) / t0 * 100.0);
+  }
+
+  // -- 2. SMP dilation sweep (Table 2 residual gap) ---------------------------
+  std::printf("\n[2] SMP memory-contention dilation -> 64x2 Pin,I-Bal "
+              "slowdown over 128x1 (paper: +13.6%%)\n");
+  for (const double dilation : {0.0, 0.11, 0.22, 0.33}) {
+    auto run_one = [&](ChibaConfig config) {
+      ChibaRunConfig cfg;
+      cfg.workload = Workload::LU;
+      cfg.scale = scale;
+      cfg.config = config;
+      cfg.smp_dilation_override = dilation;
+      return run_chiba(cfg).exec_sec;
+    };
+    const double base = run_one(ChibaConfig::C128x1);
+    const double smp = run_one(ChibaConfig::C64x2PinIbal);
+    std::printf("    dilation %.2f: +%.1f%%\n", dilation,
+                (smp - base) / base * 100.0);
+  }
+
+  // -- 3. probe density -> perturbation --------------------------------------
+  std::printf("\n[3] instrumentation density -> ProfAll slowdown "
+              "(paper: +2.32%%)\n");
+  for (const std::uint32_t density : {50u, 150u, 400u}) {
+    auto run_one = [&](PerturbMode mode) {
+      ChibaRunConfig cfg;
+      cfg.config = ChibaConfig::C128x1;
+      cfg.workload = Workload::LU;
+      cfg.ranks = 16;
+      cfg.scale = scale * 2;
+      cfg.perturb = mode;
+      cfg.timer_probe_density = density;
+      cfg.lu_override = perturb_lu_params(16, scale * 2, 42);
+      return run_chiba(cfg).exec_sec;
+    };
+    const double base = run_one(PerturbMode::Base);
+    const double all = run_one(PerturbMode::ProfAll);
+    std::printf("    timer density %3u hidden pairs/tick: +%.2f%%\n", density,
+                (all - base) / base * 100.0);
+  }
+  std::printf("\n(densities model the real patch's instrumentation points "
+              "per kernel path; see DESIGN.md section 4)\n");
+  return 0;
+}

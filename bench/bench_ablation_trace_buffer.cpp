@@ -1,0 +1,91 @@
+// Ablation: the lossy circular trace buffer (paper §4.2).
+//
+// KTAU chose fixed-size per-process ring buffers that silently overwrite
+// the oldest records when the reader (ktaud) falls behind.  This sweep
+// quantifies the design triangle: buffer capacity x extraction period ->
+// record loss, using a syscall-heavy workload.
+#include <cstdio>
+
+#include "clients/ktaud.hpp"
+#include "kernel/cluster.hpp"
+
+using namespace ktau;
+using kernel::Compute;
+using kernel::NullSyscall;
+using kernel::Program;
+using kernel::SleepFor;
+using sim::kMillisecond;
+using sim::kSecond;
+
+namespace {
+
+struct Result {
+  std::uint64_t captured = 0;
+  std::uint64_t dropped = 0;
+  double loss_pct() const {
+    const double total = static_cast<double>(captured + dropped);
+    return total > 0 ? static_cast<double>(dropped) / total * 100.0 : 0.0;
+  }
+};
+
+Result run_case(std::size_t capacity, sim::TimeNs period) {
+  kernel::Cluster cluster;
+  kernel::MachineConfig cfg;
+  cfg.cpus = 2;
+  cfg.ktau.tracing = true;
+  cfg.ktau.trace_capacity = capacity;
+  kernel::Machine& m = cluster.add_machine(cfg);
+
+  kernel::Task& worker = m.spawn("worker");
+  worker.program = [](void) -> Program {
+    for (int burst = 0; burst < 100; ++burst) {
+      for (int i = 0; i < 150; ++i) co_await NullSyscall{};
+      co_await Compute{8 * kMillisecond};
+      co_await SleepFor{12 * kMillisecond};
+    }
+  }();
+  m.launch(worker);
+
+  clients::KtaudConfig kcfg;
+  kcfg.period = period;
+  kcfg.until = 4 * kSecond;
+  kcfg.collect_profiles = false;
+  clients::Ktaud ktaud(m, kcfg);
+
+  cluster.run_until(5 * kSecond);
+  Result res;
+  res.captured = ktaud.total_records();
+  res.dropped = ktaud.total_dropped();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: trace buffer capacity x ktaud period -> loss\n");
+  std::printf("(syscall-heavy workload, ~300 records per burst)\n\n");
+  const std::size_t capacities[] = {128, 512, 2048, 8192, 1 << 15};
+  const sim::TimeNs periods[] = {50 * kMillisecond, 200 * kMillisecond,
+                                 1000 * kMillisecond};
+
+  std::printf("%10s |", "capacity");
+  for (const auto period : periods) {
+    std::printf("  period %4llu ms |",
+                static_cast<unsigned long long>(period / kMillisecond));
+  }
+  std::printf("\n");
+  for (const auto capacity : capacities) {
+    std::printf("%10zu |", capacity);
+    for (const auto period : periods) {
+      const auto res = run_case(capacity, period);
+      std::printf(" %6.2f%% dropped |", res.loss_pct());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nreading: loss falls with capacity and with faster extraction; the\n"
+      "paper's design accepts loss rather than blocking the kernel or\n"
+      "growing buffers unboundedly (\"trace data may be lost if the buffer\n"
+      "is not read fast enough\", section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Calibration utility (not a paper artifact): runs scaled-down Chiba
+// configurations and prints simulated execution times plus host wall time,
+// so the workload definitions can be tuned against the paper's Table 2.
+//
+// Usage: bench_calibrate [scale] [ranks]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+#include <algorithm>
+#include <vector>
+
+#include "experiments/chiba.hpp"
+
+using namespace ktau;
+using namespace ktau::expt;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 128;
+  const Workload workload =
+      argc > 3 && std::string_view(argv[3]) == "sweep" ? Workload::Sweep3D
+                                                       : Workload::LU;
+
+  std::printf("calibration: scale=%.2f ranks=%d workload=%s\n", scale, ranks,
+              workload == Workload::LU ? "LU" : "Sweep3D");
+  const ChibaConfig configs[] = {
+      ChibaConfig::C128x1, ChibaConfig::C64x2Anomaly, ChibaConfig::C64x2,
+      ChibaConfig::C64x2Pinned, ChibaConfig::C64x2PinIbal};
+  double base = 0;
+  for (const auto config : configs) {
+    ChibaRunConfig cfg;
+    cfg.config = config;
+    cfg.workload = workload;
+    cfg.ranks = ranks;
+    cfg.scale = scale;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result = run_chiba(cfg);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(t1 - t0).count();
+    if (config == ChibaConfig::C128x1) base = result.exec_sec;
+    double vol_med = 0, invol_med = 0, irq_max = 0;
+    {
+      std::vector<double> vols, invols;
+      for (const auto& rs : result.ranks) {
+        vols.push_back(rs.vol_sched_sec);
+        invols.push_back(rs.invol_sched_sec);
+        irq_max = std::max(irq_max, rs.irq_sec);
+      }
+      std::sort(vols.begin(), vols.end());
+      std::sort(invols.begin(), invols.end());
+      vol_med = vols[vols.size() / 2];
+      invol_med = invols[invols.size() / 2];
+    }
+    std::printf(
+        "%-18s exec=%8.2f s  (+%6.1f%%)  vol_med=%8.2f invol_med=%7.3f "
+        "irq_max=%6.3f  wall=%5.1f s\n",
+        config_name(config).c_str(), result.exec_sec,
+        base > 0 ? (result.exec_sec - base) / base * 100.0 : 0.0, vol_med,
+        invol_med, irq_max, wall);
+  }
+  return 0;
+}

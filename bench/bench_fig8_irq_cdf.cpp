@@ -1,0 +1,63 @@
+// Figure 8 reproduction: "IRQ Activity (CDF)" — interrupt time experienced
+// per MPI rank under the LU configurations.
+//
+// Paper shape: "64x2 Pinned" is prominently bimodal — without irq
+// balancing every interrupt lands on CPU0, so the half of the ranks pinned
+// there absorb virtually all interrupt time while CPU1 ranks absorb almost
+// none.  Enabling irq balancing (Pin,I-Bal) collapses the two modes.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "analysis/render.hpp"
+#include "bench_util.hpp"
+
+using namespace ktau;
+using namespace ktau::expt;
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv);
+  bench::print_header("Figure 8: interrupt activity CDF (NPB LU)", scale);
+
+  const std::pair<ChibaConfig, const char*> configs[] = {
+      {ChibaConfig::C128x1, "128x1"},
+      {ChibaConfig::C64x2PinIbal, "64x2 Pinned,I-Bal"},
+      {ChibaConfig::C64x2, "64x2"},
+      {ChibaConfig::C64x2Pinned, "64x2 Pinned"},
+  };
+
+  std::map<std::string, sim::Cdf> irq;
+  std::map<std::string, ChibaRunResult> runs;
+  for (const auto& [config, name] : configs) {
+    ChibaRunConfig cfg;
+    cfg.config = config;
+    cfg.workload = Workload::LU;
+    cfg.scale = scale;
+    auto run = run_chiba(cfg);
+    std::fprintf(stderr, "  [ran %s: %.2f s]\n", name, run.exec_sec);
+    irq[name] = sim::Cdf(bench::metric_of(
+        run, [](const RankStats& rs) { return rs.irq_sec * 1e6; }));
+    runs.emplace(name, std::move(run));
+  }
+
+  analysis::render_cdfs(std::cout, "IRQ Activity (CDF)",
+                        "interrupt time per rank (microseconds)", irq);
+
+  // Bimodality check for 64x2 Pinned: the low half (CPU1 ranks) vs the
+  // high half (CPU0 ranks) differ by a large factor.
+  const auto& pinned = irq.at("64x2 Pinned");
+  const double p25 = pinned.quantile(0.25);
+  const double p75 = pinned.quantile(0.75);
+  std::printf("\n64x2 Pinned p25 %.0f us vs p75 %.0f us (ratio %.1f)\n", p25,
+              p75, p25 > 0 ? p75 / p25 : 0.0);
+  std::printf("bimodal irq distribution when pinned without balancing: %s\n",
+              p75 > 5 * std::max(p25, 1.0) ? "PASS" : "FAIL");
+
+  const auto& balanced = irq.at("64x2 Pinned,I-Bal");
+  const double spread_pinned = p75 - p25;
+  const double spread_bal = balanced.quantile(0.75) - balanced.quantile(0.25);
+  std::printf("irq balancing collapses the modes (IQR %.0f -> %.0f us): %s\n",
+              spread_pinned, spread_bal,
+              spread_bal < spread_pinned ? "PASS" : "FAIL");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 3 reproduction: "Perturbation: Total Exec. Time (secs)" — NPB LU
+// under five instrumentation configurations, plus Sweep3D Base vs
+// ProfAll+Tau.
+//
+// Paper values (LU class C, 16 nodes; % slowdown of the mean over 5 runs):
+//   Base 470.8 | Ktau Off +0.01% | ProfAll +2.32% | ProfSched +0.07% |
+//   ProfAll+Tau +2.82%
+// Sweep3D (128 nodes): Base 368.25 -> ProfAll+Tau 369.9 (+0.49%).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "experiments/perturb.hpp"
+
+using namespace ktau;
+using namespace ktau::expt;
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.1);
+  bench::print_header("Table 3: perturbation — total exec. time (secs)",
+                      scale);
+
+  PerturbStudyConfig cfg;
+  cfg.scale = scale;
+  cfg.repetitions = 5;
+  cfg.sweep_repetitions = 2;
+  const auto result = run_perturbation_study(cfg);
+
+  struct PaperRef {
+    PerturbMode mode;
+    double min_slow, avg_slow;
+  };
+  const PaperRef refs[] = {
+      {PerturbMode::Base, 0.0, 0.0},
+      {PerturbMode::KtauOff, 0.0, 0.01},
+      {PerturbMode::ProfAll, 1.87, 2.32},
+      {PerturbMode::ProfSched, 0.0, 0.07},
+      {PerturbMode::ProfAllTau, 1.58, 2.82},
+  };
+
+  std::printf("\nNPB LU (16 nodes):\n");
+  std::printf("%-12s | %9s %9s | %9s %9s | paper %%avg\n", "Metric", "Min",
+              "%MinSlow", "Avg", "%AvgSlow");
+  for (const auto& ref : refs) {
+    const auto& s = result.lu.at(ref.mode);
+    std::printf("%-12s | %9.2f %8.2f%% | %9.2f %8.2f%% | %8.2f%%\n",
+                perturb_name(ref.mode).c_str(), s.min_sec, s.min_slow_pct,
+                s.avg_sec, s.avg_slow_pct, ref.avg_slow);
+  }
+
+  std::printf("\nASCI Sweep3D (128 nodes):\n");
+  const auto& sb = result.sweep.at(PerturbMode::Base);
+  const auto& st = result.sweep.at(PerturbMode::ProfAllTau);
+  std::printf("  Base avg %.2f s, ProfAll+Tau avg %.2f s -> +%.2f%% "
+              "(paper +0.49%%)\n",
+              sb.avg_sec, st.avg_sec, st.avg_slow_pct);
+
+  const auto& off = result.lu.at(PerturbMode::KtauOff);
+  const auto& all = result.lu.at(PerturbMode::ProfAll);
+  const auto& sched = result.lu.at(PerturbMode::ProfSched);
+  const auto& alltau = result.lu.at(PerturbMode::ProfAllTau);
+  std::printf("\nshape checks:\n");
+  std::printf("  Ktau Off statistically free (<0.3%%): %s (%.3f%%)\n",
+              off.avg_slow_pct < 0.3 ? "PASS" : "FAIL", off.avg_slow_pct);
+  std::printf("  ProfSched nearly free (<0.5%%): %s (%.3f%%)\n",
+              sched.avg_slow_pct < 0.5 ? "PASS" : "FAIL",
+              sched.avg_slow_pct);
+  std::printf("  ProfAll small single-digit %% : %s (%.2f%%)\n",
+              (all.avg_slow_pct > 0.5 && all.avg_slow_pct < 8.0) ? "PASS"
+                                                                 : "FAIL",
+              all.avg_slow_pct);
+  std::printf("  ProfAll+Tau >= ProfAll: %s (%.2f%% vs %.2f%%)\n",
+              alltau.avg_slow_pct >= all.avg_slow_pct * 0.9 ? "PASS" : "FAIL",
+              alltau.avg_slow_pct, all.avg_slow_pct);
+  return 0;
+}

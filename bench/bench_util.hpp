@@ -1,0 +1,49 @@
+// Shared helpers for the experiment-reproduction binaries.
+//
+// Every bench accepts an optional first argument: the workload scale
+// (fraction of the paper-length run; default 0.15).  Execution times scale
+// with it; the *relative* effects — slowdown percentages, CDF shapes,
+// orderings — are scale-invariant, which is what the reproduction asserts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "experiments/chiba.hpp"
+#include "sim/stats.hpp"
+
+namespace ktau::bench {
+
+inline double parse_scale(int argc, char** argv, double fallback = 0.15) {
+  if (argc > 1) {
+    const double s = std::atof(argv[1]);
+    if (s > 0) return s;
+  }
+  return fallback;
+}
+
+inline void print_header(const char* what, double scale) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", what);
+  std::printf("workload scale: %.2f of paper-length runs (pass a scale\n"
+              "argument, e.g. 1.0, to reproduce full-length timings)\n",
+              scale);
+  std::printf("==========================================================\n");
+}
+
+/// Per-rank metric extraction over a ChibaRunResult.
+template <typename F>
+std::vector<double> metric_of(const expt::ChibaRunResult& run, F get) {
+  std::vector<double> out;
+  out.reserve(run.ranks.size());
+  for (const auto& rs : run.ranks) out.push_back(get(rs));
+  return out;
+}
+
+inline sim::Cdf cdf_of(const std::vector<double>& values) {
+  return sim::Cdf(values);
+}
+
+}  // namespace ktau::bench

@@ -1,0 +1,94 @@
+// Domain example: exporting KTAU data for the TAU toolchain.
+//
+// The paper's point (§3): KTAU produces data *compatible with TAU*, so
+// ParaProf and friends work unchanged.  This example runs a small workload
+// with call-path profiling enabled, then writes three classic TAU
+// "profile.X.0.0" files — the user view, the kernel view, and the merged
+// view — plus an indented kernel call graph.
+//
+// Usage: export_profiles [output-dir]   (default: current directory)
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/render.hpp"
+#include "analysis/views.hpp"
+#include "kernel/cluster.hpp"
+#include "libktau/libktau.hpp"
+#include "tau/export.hpp"
+
+using namespace ktau;
+using kernel::Compute;
+using kernel::Program;
+using kernel::SleepFor;
+using sim::kMillisecond;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : ".";
+
+  kernel::Cluster cluster;
+  kernel::MachineConfig cfg;
+  cfg.name = "export-node";
+  cfg.cpus = 2;
+  cfg.ktau.callpath = true;  // per-edge kernel call-graph data
+  kernel::Machine& node = cluster.add_machine(cfg);
+
+  kernel::Task& t = node.spawn("solver");
+  tau::Profiler prof(node, t);
+  const auto f_main = prof.reg("main");
+  const auto f_assemble = prof.reg("assemble");
+  const auto f_solve = prof.reg("solve");
+  const auto f_io = prof.reg("checkpoint_io");
+  t.program = [](tau::Profiler& p, tau::FuncId fm, tau::FuncId fa,
+                 tau::FuncId fs, tau::FuncId fio) -> Program {
+    p.enter(fm);
+    for (int step = 0; step < 8; ++step) {
+      p.enter(fa);
+      co_await Compute{12 * kMillisecond};
+      p.exit(fa);
+      p.enter(fs);
+      co_await Compute{30 * kMillisecond};
+      co_await kernel::Fault{};  // page faults during the solve
+      p.exit(fs);
+      p.enter(fio);
+      co_await SleepFor{8 * kMillisecond};  // "I/O" wait
+      p.exit(fio);
+    }
+    p.exit(fm);
+  }(prof, f_main, f_assemble, f_solve, f_io);
+  node.launch(t);
+  const meas::Pid pid = t.pid;
+  cluster.run();
+
+  user::KtauHandle handle(node.proc());
+  const auto snap = handle.get_profile(meas::Scope::All);
+  const auto& task = analysis::task_of(snap, pid);
+
+  const auto write = [&](const std::string& name, auto&& writer) {
+    const std::string path = dir + "/" + name;
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot write " << path << "\n";
+      return;
+    }
+    writer(os);
+    std::cout << "wrote " << path << "\n";
+  };
+  write("profile.user.0.0", [&](std::ostream& os) {
+    tau::write_tau_profile(os, prof, node.config().freq);
+  });
+  write("profile.kernel.0.0", [&](std::ostream& os) {
+    tau::write_kernel_profile(os, snap, task);
+  });
+  write("profile.merged.0.0", [&](std::ostream& os) {
+    tau::write_merged_profile(os, snap, task, prof);
+  });
+
+  std::cout << "\n";
+  analysis::render_callgraph(std::cout, "kernel call graph of 'solver'",
+                             analysis::callgraph(snap, task));
+
+  std::cout << "\nmerged profile (inline):\n";
+  tau::write_merged_profile(std::cout, snap, task, prof);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Domain example: runKtau, the `time`-like client (paper §4.5).
+//
+// Wraps a child job the way time(1) does, but reports the child's detailed
+// KTAU kernel profile after it completes — extracted through the proc
+// interface by a real wrapper process, while an lmbench-style workload
+// shows what the numbers mean.
+//
+// Usage: runktau_time
+#include <cstdio>
+#include <iostream>
+
+#include "apps/lmbench.hpp"
+#include "clients/runktau.hpp"
+#include "kernel/cluster.hpp"
+#include "libktau/libktau.hpp"
+
+using namespace ktau;
+using kernel::Compute;
+using kernel::NullSyscall;
+using kernel::Program;
+using kernel::SleepFor;
+using sim::kMillisecond;
+
+namespace {
+
+Program workload() {
+  for (int i = 0; i < 30; ++i) {
+    co_await Compute{15 * kMillisecond};
+    co_await NullSyscall{};
+    co_await SleepFor{5 * kMillisecond};
+  }
+}
+
+}  // namespace
+
+int main() {
+  kernel::Cluster cluster;
+  kernel::MachineConfig cfg;
+  cfg.name = "bench-node";
+  cfg.cpus = 2;
+  kernel::Machine& node = cluster.add_machine(cfg);
+
+  // runktau <job>: spawn the child and the wrapper.
+  kernel::Task& child = node.spawn("my-job");
+  child.program = workload();
+  clients::RunKtau wrapper(node, child);
+  cluster.run();
+
+  std::printf("runktau: child 'my-job' ran for %s\n",
+              sim::format_time(wrapper.child_elapsed()).c_str());
+  std::printf("kernel profile of the child:\n");
+  user::print_profile(std::cout, wrapper.result());
+
+  // For context, lmbench-style microbenchmarks of this kernel.
+  {
+    kernel::Cluster c2;
+    kernel::Machine& m2 = c2.add_machine(cfg);
+    const auto lat = apps::lat_syscall_null(c2, m2, 5000);
+    std::printf("\nlmbench lat_syscall null: %.2f us per call (%llu calls)\n",
+                lat.per_call_us,
+                static_cast<unsigned long long>(lat.calls));
+  }
+  {
+    kernel::Cluster c3;
+    kernel::Machine& m3 = c3.add_machine(cfg);
+    knet::Fabric fabric(c3);
+    const auto ctx = apps::lat_ctx(c3, m3, fabric, 500);
+    std::printf("lmbench lat_ctx: %.2f us per handoff\n", ctx.handoff_us);
+  }
+  {
+    kernel::Cluster c4;
+    c4.add_machine(cfg);
+    c4.add_machine(cfg);
+    knet::Fabric fabric(c4);
+    const auto bw = apps::bw_tcp(c4, fabric, 0, 1, 10'000'000);
+    std::printf("lmbench bw_tcp: %.2f MB/s across nodes\n",
+                bw.mbytes_per_sec);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Domain example: merged user/kernel tracing (the Figure 2-E workflow).
+//
+// Two ranks exchange messages on one node while KTAU tracing is enabled.
+// A live ktaud daemon drains the kernel's per-process circular trace
+// buffers; afterwards the kernel trace is merged with the TAU user-level
+// event log into one timeline, showing exactly which kernel routines run
+// inside a user-level MPI_Send — including the bottom-half receive
+// processing that piggybacks on the send path's softirq check.
+//
+// Usage: trace_mpi_send
+#include <iostream>
+
+#include "analysis/render.hpp"
+#include "experiments/controlled.hpp"
+
+using namespace ktau;
+
+int main() {
+  const auto demo = expt::run_trace_demo(/*seed=*/2026);
+
+  std::cout << "ktaud extracted kernel trace buffers "
+            << demo.ktaud_extractions << " times during the run\n";
+  std::cout << "merged timeline: " << demo.full.size()
+            << " user+kernel events total\n\n";
+
+  analysis::render_timeline(
+      std::cout, "one user-level MPI_Send, with kernel events inside",
+      demo.send_window, 100);
+
+  std::cout << "\nreading the timeline:\n"
+            << "  [U] = user-level (TAU) event, [K] = kernel (KTAU) event\n"
+            << "  MPI_Send is implemented by sys_writev -> sock_sendmsg ->\n"
+            << "  tcp_sendmsg per segment; the do_softirq/net_rx_action/\n"
+            << "  tcp_v4_rcv block is receive processing for the peer's\n"
+            << "  traffic, which runs when the send path's bottom-half\n"
+            << "  check fires (paper Figure 2-E's 'not directly related\n"
+            << "  to the send' activity).\n";
+  return 0;
+}

@@ -1,0 +1,219 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ktau::analysis {
+
+namespace {
+
+std::string bar(double value, double max, int width) {
+  if (max <= 0) return {};
+  const int n = static_cast<int>(std::lround(value / max * width));
+  return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  if (v != 0 && (std::fabs(v) < 1e-3 || std::fabs(v) >= 1e6)) {
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void render_bars(std::ostream& os, const std::string& title,
+                 const std::vector<std::pair<std::string, double>>& rows,
+                 const std::string& unit, int width) {
+  os << "== " << title << " ==\n";
+  double max = 0;
+  std::size_t label_w = 4;
+  for (const auto& [label, value] : rows) {
+    max = std::max(max, value);
+    label_w = std::max(label_w, label.size());
+  }
+  for (const auto& [label, value] : rows) {
+    os << "  " << label << std::string(label_w - label.size(), ' ') << " | "
+       << bar(value, max, width) << " " << fmt(value) << " " << unit << "\n";
+  }
+}
+
+void render_paired_bars(
+    std::ostream& os, const std::string& title,
+    const std::vector<std::tuple<std::string, double, double>>& rows,
+    const std::string& label_a, const std::string& label_b, int width) {
+  os << "== " << title << " ==\n";
+  os << "   (upper bar: " << label_a << ", lower bar: " << label_b << ")\n";
+  double max = 0;
+  std::size_t label_w = 4;
+  for (const auto& [label, a, b] : rows) {
+    max = std::max({max, a, b});
+    label_w = std::max(label_w, label.size());
+  }
+  for (const auto& [label, a, b] : rows) {
+    const std::string pad(label_w, ' ');
+    os << "  " << label << std::string(label_w - label.size(), ' ') << " A| "
+       << bar(a, max, width) << " " << fmt(a) << "\n";
+    os << "  " << pad << " B| " << bar(b, max, width) << " " << fmt(b) << "\n";
+  }
+}
+
+void render_cdfs(std::ostream& os, const std::string& title,
+                 const std::string& x_label,
+                 const std::map<std::string, sim::Cdf>& series,
+                 bool log_hint) {
+  os << "== " << title << " ==  (x: " << x_label
+     << (log_hint ? ", log-scale in the paper" : "") << ")\n";
+  // Quantile table: the shape of each curve at a glance.
+  static constexpr double kQ[] = {0.0, 0.10, 0.25, 0.50, 0.75, 0.90, 1.0};
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "  %-24s %12s %12s %12s %12s %12s %12s %12s\n",
+                "series", "min", "p10", "p25", "p50", "p75", "p90", "max");
+  os << buf;
+  for (const auto& [name, cdf] : series) {
+    if (cdf.empty()) {
+      os << "  " << name << "  (empty)\n";
+      continue;
+    }
+    std::string line = "  ";
+    line += name;
+    line.resize(26, ' ');
+    os << line;
+    for (const double q : kQ) {
+      std::snprintf(buf, sizeof buf, " %12s", fmt(cdf.quantile(q)).c_str());
+      os << buf;
+    }
+    os << "\n";
+  }
+
+  // ASCII curves: fraction of ranks (y) vs value (x), shared x-range.
+  double lo = 1e300, hi = -1e300;
+  for (const auto& [name, cdf] : series) {
+    if (cdf.empty()) continue;
+    lo = std::min(lo, cdf.min());
+    hi = std::max(hi, cdf.max());
+  }
+  if (hi <= lo) return;
+  constexpr int kCols = 64;
+  constexpr int kRows = 10;
+  int idx = 0;
+  for (const auto& [name, cdf] : series) {
+    if (cdf.empty()) continue;
+    os << "  curve [" << static_cast<char>('a' + idx) << "] " << name << "\n";
+    ++idx;
+  }
+  idx = 0;
+  for (const auto& [name, cdf] : series) {
+    if (cdf.empty()) continue;
+    std::string row(kCols, ' ');
+    for (int c = 0; c < kCols; ++c) {
+      const double x = lo + (hi - lo) * (c + 0.5) / kCols;
+      const double f = cdf.fraction_at(x);
+      const int level = static_cast<int>(f * kRows);
+      row[static_cast<std::size_t>(c)] =
+          level >= kRows ? '^' : static_cast<char>('0' + level);
+    }
+    os << "  [" << static_cast<char>('a' + idx) << "] " << row << "\n";
+    ++idx;
+  }
+  os << "  (each digit = fraction of ranks <= x, in tenths; '^' = 1.0; "
+     << "x spans " << fmt(lo) << " .. " << fmt(hi) << ")\n";
+}
+
+void render_histogram(std::ostream& os, const std::string& title,
+                      const sim::Histogram& hist, const std::string& x_label,
+                      int width) {
+  os << "== " << title << " ==  (x: " << x_label << ")\n";
+  std::uint64_t max = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    max = std::max(max, hist.count(b));
+  }
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "  [%10.3g, %10.3g) %6llu |",
+                  hist.bin_low(b), hist.bin_high(b),
+                  static_cast<unsigned long long>(hist.count(b)));
+    os << buf
+       << bar(static_cast<double>(hist.count(b)), static_cast<double>(max),
+              width)
+       << "\n";
+  }
+}
+
+std::vector<TimelineEvent> merge_timeline(const meas::TraceSnapshot& ktrace,
+                                          meas::Pid pid,
+                                          const tau::Profiler& tau_prof) {
+  std::vector<TimelineEvent> events;
+  for (const auto& task : ktrace.tasks) {
+    if (task.pid != pid) continue;
+    for (const auto& rec : task.records) {
+      if (rec.type == meas::TraceType::Atomic) continue;
+      TimelineEvent e;
+      e.timestamp = rec.timestamp;
+      e.name = std::string(ktrace.event_name(rec.event));
+      e.is_kernel = true;
+      e.is_enter = rec.type == meas::TraceType::Entry;
+      events.push_back(std::move(e));
+    }
+  }
+  for (const auto& rec : tau_prof.trace()) {
+    TimelineEvent e;
+    e.timestamp = rec.timestamp;
+    e.name = tau_prof.name(rec.func);
+    e.is_kernel = false;
+    e.is_enter = rec.is_enter;
+    events.push_back(std::move(e));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     // At equal timestamps, exits come before enters so the
+                     // indentation tree stays sane.
+                     return !a.is_enter && b.is_enter;
+                   });
+  return events;
+}
+
+void render_timeline(std::ostream& os, const std::string& title,
+                     const std::vector<TimelineEvent>& events,
+                     std::size_t max_events) {
+  os << "== " << title << " ==\n";
+  int depth = 0;
+  std::size_t shown = 0;
+  for (const auto& e : events) {
+    if (shown++ >= max_events) {
+      os << "  ... (" << events.size() - max_events << " more events)\n";
+      break;
+    }
+    if (!e.is_enter && depth > 0) --depth;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  %12.3f us ",
+                  static_cast<double>(e.timestamp) / 1e3);
+    os << buf << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+       << (e.is_enter ? "> " : "< ") << (e.is_kernel ? "[K] " : "[U] ")
+       << e.name << "\n";
+    if (e.is_enter) ++depth;
+  }
+}
+
+void render_callgraph(std::ostream& os, const std::string& title,
+                      const std::vector<CallGraphNode>& nodes) {
+  os << "== " << title << " ==\n";
+  for (const auto& node : nodes) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  %10.3f ms %8llu x  ",
+                  node.incl_sec * 1e3,
+                  static_cast<unsigned long long>(node.count));
+    os << buf << std::string(static_cast<std::size_t>(node.depth) * 2, ' ')
+       << node.name << "\n";
+  }
+}
+
+}  // namespace ktau::analysis

@@ -1,0 +1,67 @@
+// ASCII renderers: the ParaProf-like bar graphs, gnuplot-like CDF curves,
+// histograms and the Vampir-like merged timeline used by the experiment
+// binaries to present the paper's figures in a terminal.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/views.hpp"
+#include "ktau/snapshot.hpp"
+#include "sim/stats.hpp"
+#include "tau/profiler.hpp"
+
+namespace ktau::analysis {
+
+/// Horizontal bar chart (ParaProf-style "performance bargraph").
+/// `rows` are (label, value) pairs; bars are scaled to the maximum value.
+void render_bars(std::ostream& os, const std::string& title,
+                 const std::vector<std::pair<std::string, double>>& rows,
+                 const std::string& unit = "s", int width = 50);
+
+/// Paired bar chart: two values per label (Figure 2-D's merged-vs-user
+/// comparison).
+void render_paired_bars(
+    std::ostream& os, const std::string& title,
+    const std::vector<std::tuple<std::string, double, double>>& rows,
+    const std::string& label_a, const std::string& label_b, int width = 40);
+
+/// CDF family plot: prints a quantile table per series (the textual
+/// equivalent of the paper's "% MPI Ranks" CDF figures) followed by an
+/// ASCII curve chart.
+void render_cdfs(std::ostream& os, const std::string& title,
+                 const std::string& x_label,
+                 const std::map<std::string, sim::Cdf>& series,
+                 bool log_hint = false);
+
+/// Histogram rendering (Figure 3).
+void render_histogram(std::ostream& os, const std::string& title,
+                      const sim::Histogram& hist, const std::string& x_label,
+                      int width = 50);
+
+/// One merged user+kernel timeline event.
+struct TimelineEvent {
+  sim::TimeNs timestamp = 0;
+  std::string name;
+  bool is_kernel = false;
+  bool is_enter = true;
+};
+
+/// Merges a KTAU per-task trace and a TAU user trace into one ordered
+/// event list (the Vampir-style correlation of Figure 2-E).
+std::vector<TimelineEvent> merge_timeline(const meas::TraceSnapshot& ktrace,
+                                          meas::Pid pid,
+                                          const tau::Profiler& tau_prof);
+
+/// Renders a timeline as an indented call tree with timestamps.
+void render_timeline(std::ostream& os, const std::string& title,
+                     const std::vector<TimelineEvent>& events,
+                     std::size_t max_events = 200);
+
+/// Renders a call graph (from analysis::callgraph) as an indented tree.
+void render_callgraph(std::ostream& os, const std::string& title,
+                      const std::vector<CallGraphNode>& nodes);
+
+}  // namespace ktau::analysis

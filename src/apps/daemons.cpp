@@ -1,0 +1,56 @@
+#include "apps/daemons.hpp"
+
+namespace ktau::apps {
+
+namespace {
+
+kernel::Program hog_program(kernel::Machine& m, HogParams p) {
+  while (m.engine().now() < p.until) {
+    co_await kernel::SleepFor{p.sleep};
+    co_await kernel::Compute{p.busy};
+  }
+}
+
+kernel::Program daemon_program(kernel::Machine& m, DaemonParams p) {
+  if (p.phase != 0) co_await kernel::SleepFor{p.phase};
+  while (m.engine().now() < p.until) {
+    co_await kernel::SleepFor{p.period};
+    co_await kernel::Compute{p.burst};
+    co_await kernel::NullSyscall{};
+  }
+}
+
+}  // namespace
+
+kernel::Task& spawn_hog(kernel::Machine& m, const HogParams& p,
+                        kernel::CpuMask affinity, const std::string& name) {
+  kernel::Task& t = m.spawn(name, affinity);
+  t.is_daemon = true;
+  t.program = hog_program(m, p);
+  m.launch(t);
+  return t;
+}
+
+kernel::Task& spawn_daemon(kernel::Machine& m, const DaemonParams& p,
+                           const std::string& name) {
+  kernel::Task& t = m.spawn(name);
+  t.is_daemon = true;
+  t.program = daemon_program(m, p);
+  m.launch(t);
+  return t;
+}
+
+void spawn_daemon_mix(kernel::Machine& m, sim::TimeNs until) {
+  using sim::kMillisecond;
+  using sim::kSecond;
+  spawn_daemon(m, {1 * kSecond, 1 * kMillisecond, until, 100 * kMillisecond},
+               "kjournald");
+  spawn_daemon(m, {5 * kSecond, 3 * kMillisecond, until, 700 * kMillisecond},
+               "klogd");
+  spawn_daemon(m, {10 * kSecond, 5 * kMillisecond, until, 1300 * kMillisecond},
+               "crond");
+  spawn_daemon(m, {2 * kSecond, 1 * kMillisecond, until, 400 * kMillisecond},
+               "pbs_mom");
+}
+
+}  // namespace ktau::apps

@@ -1,0 +1,44 @@
+// Background processes used in the paper's experiments.
+//
+//  - PeriodicHog: the artificial "overhead" process of §5.1 — sleeps,
+//    then busy-loops, disrupting whatever shares its CPU (Figure 2-A/B/C).
+//  - system_daemon: the ordinary daemon mix (cron/kjournald-style short
+//    periodic bursts) present on every Chiba node; Figure 7 shows they
+//    account for only "minuscule execution times".
+#pragma once
+
+#include <string>
+
+#include "kernel/machine.hpp"
+#include "kernel/program.hpp"
+
+namespace ktau::apps {
+
+struct HogParams {
+  sim::TimeNs sleep = 10 * sim::kSecond;  // paper: sleeps 10 s
+  sim::TimeNs busy = 3 * sim::kSecond;    // paper: 3 s CPU-intensive loop
+  sim::TimeNs until = 300 * sim::kSecond; // stop after this simulated time
+};
+
+/// Spawns the hog on `m` (optionally pinned) and returns its task.
+kernel::Task& spawn_hog(kernel::Machine& m, const HogParams& p,
+                        kernel::CpuMask affinity = kernel::kAllCpus,
+                        const std::string& name = "overhead-hog");
+
+struct DaemonParams {
+  sim::TimeNs period = 1 * sim::kSecond;
+  sim::TimeNs burst = 2 * sim::kMillisecond;
+  sim::TimeNs until = 300 * sim::kSecond;
+  /// Phase offset so daemons on one node do not wake in lockstep.
+  sim::TimeNs phase = 0;
+};
+
+/// Spawns one background daemon on `m`.
+kernel::Task& spawn_daemon(kernel::Machine& m, const DaemonParams& p,
+                           const std::string& name);
+
+/// Spawns the standard mix of background daemons a Chiba node runs
+/// (a handful of distinct periods/burst lengths).
+void spawn_daemon_mix(kernel::Machine& m, sim::TimeNs until);
+
+}  // namespace ktau::apps

@@ -1,0 +1,99 @@
+#include "apps/lmbench.hpp"
+
+#include <stdexcept>
+
+namespace ktau::apps {
+
+namespace {
+using kernel::Program;
+using kernel::Task;
+}  // namespace
+
+LatSyscallResult lat_syscall_null(kernel::Cluster& cluster,
+                                  kernel::Machine& m, std::uint64_t calls) {
+  Task& t = m.spawn("lat_syscall");
+  t.program = [](std::uint64_t n) -> Program {
+    for (std::uint64_t i = 0; i < n; ++i) co_await kernel::NullSyscall{};
+  }(calls);
+  m.launch(t);
+  cluster.run();
+
+  const auto ev = m.ktau().registry().find("sys_getpid");
+  if (ev == meas::kNoEventId) {
+    return {0, 0.0};  // instrumentation compiled out: nothing measured
+  }
+  for (const auto& r : m.ktau().reaped()) {
+    if (r.name != "lat_syscall") continue;
+    const auto& metric = r.profile.metrics(ev);
+    LatSyscallResult res;
+    res.calls = metric.count;
+    if (metric.count > 0) {
+      res.per_call_us = static_cast<double>(metric.incl) /
+                        static_cast<double>(metric.count) /
+                        static_cast<double>(m.config().freq) * 1e6;
+    }
+    return res;
+  }
+  throw std::logic_error("lat_syscall_null: task profile not found");
+}
+
+LatCtxResult lat_ctx(kernel::Cluster& cluster, kernel::Machine& m,
+                     knet::Fabric& fabric, std::uint64_t round_trips) {
+  const auto conn = fabric.connect(m.id(), m.id());
+  // Pin both to CPU0 so every handoff is a real context switch.
+  Task& ping = m.spawn("lat_ctx.ping", kernel::cpu_bit(0));
+  Task& pong = m.spawn("lat_ctx.pong", kernel::cpu_bit(0));
+  ping.program = [](std::uint64_t n, int fd_out, int fd_in) -> Program {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      co_await kernel::SendMsg{fd_out, 1};
+      co_await kernel::RecvMsg{fd_in, 1};
+    }
+  }(round_trips, conn.fd_a, conn.fd_b);
+  pong.program = [](std::uint64_t n, int fd_in, int fd_out) -> Program {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      co_await kernel::RecvMsg{fd_in, 1};
+      co_await kernel::SendMsg{fd_out, 1};
+    }
+  }(round_trips, conn.fd_b, conn.fd_a);
+  m.launch(ping);
+  m.launch(pong);
+  cluster.run();
+
+  LatCtxResult res;
+  res.round_trips = round_trips;
+  const sim::TimeNs span = std::max(ping.end_time, pong.end_time) -
+                           std::min(ping.start_time, pong.start_time);
+  // Each round trip is two handoffs.
+  res.handoff_us = static_cast<double>(span) /
+                   static_cast<double>(2 * round_trips) / 1e3;
+  return res;
+}
+
+BwTcpResult bw_tcp(kernel::Cluster& cluster, knet::Fabric& fabric,
+                   kernel::NodeId from, kernel::NodeId to,
+                   std::uint64_t bytes) {
+  if (from == to) throw std::invalid_argument("bw_tcp: needs two nodes");
+  const auto conn = fabric.connect(from, to);
+  kernel::Machine& mf = fabric.cluster().machine(from);
+  kernel::Machine& mt = fabric.cluster().machine(to);
+  Task& tx = mf.spawn("bw_tcp.tx");
+  tx.program = [](int fd, std::uint64_t n) -> Program {
+    co_await kernel::SendMsg{fd, n};
+  }(conn.fd_a, bytes);
+  Task& rx = mt.spawn("bw_tcp.rx");
+  rx.program = [](int fd, std::uint64_t n) -> Program {
+    co_await kernel::RecvMsg{fd, n};
+  }(conn.fd_b, bytes);
+  mf.launch(tx);
+  mt.launch(rx);
+  cluster.run();
+
+  BwTcpResult res;
+  res.bytes = bytes;
+  const double sec =
+      static_cast<double>(rx.end_time - rx.start_time) / sim::kSecond;
+  if (sec > 0) res.mbytes_per_sec = static_cast<double>(bytes) / 1e6 / sec;
+  return res;
+}
+
+}  // namespace ktau::apps

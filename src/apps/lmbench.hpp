@@ -1,0 +1,46 @@
+// LMbench-style micro-workloads (the paper exercised KTAU with LMBENCH in
+// its controlled experiments, §5).  These measure the simulated kernel's
+// primitive costs through the same measurement machinery the real tool
+// would use.
+#pragma once
+
+#include "kernel/cluster.hpp"
+#include "knet/stack.hpp"
+
+namespace ktau::apps {
+
+struct LatSyscallResult {
+  std::uint64_t calls = 0;
+  double per_call_us = 0;  // mean inclusive time of the null syscall
+};
+
+/// lat_syscall null: one task issues `calls` getpid-style syscalls; the
+/// per-call latency comes from the task's KTAU profile.  Runs the cluster
+/// to completion.
+LatSyscallResult lat_syscall_null(kernel::Cluster& cluster,
+                                  kernel::Machine& m, std::uint64_t calls);
+
+struct LatCtxResult {
+  std::uint64_t round_trips = 0;
+  /// One-way handoff latency (includes the scheduler context switch and
+  /// the loopback wake path), microseconds.
+  double handoff_us = 0;
+};
+
+/// lat_ctx-style ping-pong: two tasks pinned to the same CPU bounce a
+/// 1-byte token over a loopback socket pair; every handoff forces a
+/// voluntary context switch.
+LatCtxResult lat_ctx(kernel::Cluster& cluster, kernel::Machine& m,
+                     knet::Fabric& fabric, std::uint64_t round_trips);
+
+struct BwTcpResult {
+  std::uint64_t bytes = 0;
+  double mbytes_per_sec = 0;  // end-to-end cross-node streaming bandwidth
+};
+
+/// bw_tcp-style streaming transfer between two nodes.
+BwTcpResult bw_tcp(kernel::Cluster& cluster, knet::Fabric& fabric,
+                   kernel::NodeId from, kernel::NodeId to,
+                   std::uint64_t bytes);
+
+}  // namespace ktau::apps

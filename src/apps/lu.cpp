@@ -1,0 +1,167 @@
+#include "apps/lu.hpp"
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace ktau::apps {
+
+namespace {
+
+using kernel::Compute;
+using kernel::Program;
+
+struct LuIds {
+  tau::FuncId main_, ssor, rhs, exchange, blts, buts, l2norm, send, recv;
+};
+
+LuIds register_routines(tau::Profiler& tau) {
+  LuIds ids;
+  ids.main_ = tau.reg("main");
+  ids.ssor = tau.reg("ssor");
+  ids.rhs = tau.reg("rhs");
+  ids.exchange = tau.reg("exchange_3");
+  ids.blts = tau.reg("blts");
+  ids.buts = tau.reg("buts");
+  ids.l2norm = tau.reg("l2norm");
+  ids.send = tau.reg("MPI_Send");
+  ids.recv = tau.reg("MPI_Recv");
+  return ids;
+}
+
+/// The per-rank LU program.  Parameters are taken by value so the coroutine
+/// frame owns copies; `w` and `tau` must outlive the simulation.
+Program lu_rank(mpi::World& w, tau::Profiler& tau, const LuParams p,
+                const int rank) {
+  const LuIds f = register_routines(tau);
+  sim::Rng rng(p.seed ^ (0x9E3779B97F4A7C15ULL * (rank + 1)));
+  auto jit = [&rng, &p](sim::TimeNs t) {
+    return static_cast<sim::TimeNs>(
+        static_cast<double>(t) *
+        (1.0 + p.jitter * (rng.next_double() * 2.0 - 1.0)));
+  };
+
+  const int col = rank % p.px;
+  const int row = rank / p.px;
+  const int north = row > 0 ? rank - p.px : -1;
+  const int south = row < p.py - 1 ? rank + p.px : -1;
+  const int west = col > 0 ? rank - 1 : -1;
+  const int east = col < p.px - 1 ? rank + 1 : -1;
+  const int neighbors[4] = {north, south, west, east};
+
+  tau.enter(f.main_);
+  for (int it = 0; it < p.iterations; ++it) {
+    tau.enter(f.ssor);
+
+    // rhs: the big compute of each iteration, then the halo exchange.
+    tau.enter(f.rhs);
+    co_await Compute{jit(p.rhs_time)};
+    tau.exit(f.rhs);
+
+    tau.enter(f.exchange);
+    for (const int nb : neighbors) {
+      if (nb < 0) continue;
+      tau.enter(f.send);
+      co_await w.send(rank, nb, p.halo_bytes);
+      tau.exit(f.send);
+    }
+    for (const int nb : neighbors) {
+      if (nb < 0) continue;
+      tau.enter(f.recv);
+      co_await w.recv(rank, nb, p.halo_bytes);
+      tau.exit(f.recv);
+    }
+    tau.exit(f.exchange);
+
+    // Lower triangular solve: wavefront pipeline from the north-west.
+    tau.enter(f.blts);
+    for (int kb = 0; kb < p.k_blocks; ++kb) {
+      if (north >= 0) {
+        tau.enter(f.recv);
+        co_await w.recv(rank, north, p.pipe_bytes);
+        tau.exit(f.recv);
+      }
+      if (west >= 0) {
+        tau.enter(f.recv);
+        co_await w.recv(rank, west, p.pipe_bytes);
+        tau.exit(f.recv);
+      }
+      co_await Compute{jit(p.stage_time)};
+      if (south >= 0) {
+        tau.enter(f.send);
+        co_await w.send(rank, south, p.pipe_bytes);
+        tau.exit(f.send);
+      }
+      if (east >= 0) {
+        tau.enter(f.send);
+        co_await w.send(rank, east, p.pipe_bytes);
+        tau.exit(f.send);
+      }
+    }
+    tau.exit(f.blts);
+
+    // Upper triangular solve: reverse wavefront from the south-east.
+    tau.enter(f.buts);
+    for (int kb = 0; kb < p.k_blocks; ++kb) {
+      if (south >= 0) {
+        tau.enter(f.recv);
+        co_await w.recv(rank, south, p.pipe_bytes);
+        tau.exit(f.recv);
+      }
+      if (east >= 0) {
+        tau.enter(f.recv);
+        co_await w.recv(rank, east, p.pipe_bytes);
+        tau.exit(f.recv);
+      }
+      co_await Compute{jit(p.stage_time)};
+      if (north >= 0) {
+        tau.enter(f.send);
+        co_await w.send(rank, north, p.pipe_bytes);
+        tau.exit(f.send);
+      }
+      if (west >= 0) {
+        tau.enter(f.send);
+        co_await w.send(rank, west, p.pipe_bytes);
+        tau.exit(f.send);
+      }
+    }
+    tau.exit(f.buts);
+
+    // Convergence norm: recursive-doubling allreduce.
+    if ((it + 1) % p.norm_every == 0) {
+      tau.enter(f.l2norm);
+      for (const int peer : w.allreduce_peers(rank)) {
+        tau.enter(f.send);
+        co_await w.send(rank, peer, p.norm_bytes);
+        tau.exit(f.send);
+        tau.enter(f.recv);
+        co_await w.recv(rank, peer, p.norm_bytes);
+        tau.exit(f.recv);
+      }
+      tau.exit(f.l2norm);
+    }
+
+    tau.exit(f.ssor);
+  }
+  tau.exit(f.main_);
+}
+
+}  // namespace
+
+LuApp::LuApp(mpi::World& world, const LuParams& params)
+    : world_(world), params_(params) {
+  if (world_.size() != params_.px * params_.py) {
+    throw std::invalid_argument(
+        "LuApp: world size must equal px*py of the processor grid");
+  }
+  profs_.reserve(world_.size());
+  for (int r = 0; r < world_.size(); ++r) {
+    profs_.push_back(std::make_unique<tau::Profiler>(
+        world_.machine_of(r), world_.task(r), params_.tau));
+    world_.task(r).program = lu_rank(world_, *profs_[r], params_, r);
+  }
+}
+
+void LuApp::install_and_launch() { world_.launch_all(); }
+
+}  // namespace ktau::apps

@@ -1,0 +1,63 @@
+#include "clients/adaptd.hpp"
+
+#include <algorithm>
+
+#include "analysis/views.hpp"
+
+namespace ktau::clients {
+
+Adaptd::Adaptd(kernel::Machine& m, const AdaptdConfig& cfg)
+    : machine_(m), cfg_(cfg), handle_(m.proc()) {
+  prev_cpu_irqs_.assign(machine_.cpu_count(), 0);
+  kernel::Task& t = machine_.spawn("adaptd");
+  t.is_daemon = true;
+  t.program = controller_program();
+  machine_.launch(t);
+}
+
+void Adaptd::decide_once() {
+  ++decisions_;
+
+  // /proc/interrupts analogue: per-CPU device interrupt counts.
+  last_cpu_irqs_.assign(machine_.cpu_count(), 0);
+  std::uint64_t max_delta = 0, min_delta = ~std::uint64_t{0};
+  for (std::uint32_t c = 0; c < machine_.cpu_count(); ++c) {
+    const std::uint64_t total = machine_.cpu(c).hard_irqs;
+    const std::uint64_t delta = total - prev_cpu_irqs_[c];
+    prev_cpu_irqs_[c] = total;
+    last_cpu_irqs_[c] = delta;
+    max_delta = std::max(max_delta, delta);
+    min_delta = std::min(min_delta, delta);
+  }
+
+  // KTAU view: how much kernel time interrupts actually cost right now
+  // (what the controller reports along with its decision).
+  observed_irq_sec_ = 0;
+  const auto snap = handle_.get_profile(meas::Scope::All);
+  for (const auto& task : snap.tasks) {
+    const auto groups = analysis::group_breakdown(snap, task);
+    const auto it = groups.find(meas::Group::Irq);
+    if (it != groups.end()) observed_irq_sec_ += it->second;
+  }
+
+  if (rebalanced_ || machine_.cpu_count() < 2) return;
+  if (max_delta < cfg_.min_irqs) return;
+  const double ratio = min_delta == 0
+                           ? static_cast<double>(max_delta)
+                           : static_cast<double>(max_delta) /
+                                 static_cast<double>(min_delta);
+  if (ratio >= cfg_.imbalance_ratio) {
+    machine_.set_irq_policy(kernel::IrqPolicy::RoundRobin);
+    rebalanced_ = true;
+    rebalanced_at_ = machine_.engine().now();
+  }
+}
+
+kernel::Program Adaptd::controller_program() {
+  while (machine_.engine().now() < cfg_.until) {
+    co_await kernel::SleepFor{cfg_.period};
+    decide_once();
+  }
+}
+
+}  // namespace ktau::clients

@@ -1,0 +1,70 @@
+// adaptd — an adaptive kernel-configuration controller driven by KTAU data.
+//
+// The KTAU project's home was the ZeptoOS "dynamically adaptive kernel
+// configuration" effort (paper §3 and §6): kernel measurement exists so a
+// runtime component can *act* on it.  This client closes that loop for the
+// interrupt-routing decision the paper's §5.2 diagnosis ended with: it
+// periodically samples the per-CPU interrupt counters (the
+// /proc/interrupts analogue) plus the kernel-wide KTAU profile, and
+// switches the node to round-robin IRQ routing when one CPU is absorbing
+// nearly all interrupt work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/machine.hpp"
+#include "libktau/libktau.hpp"
+
+namespace ktau::clients {
+
+struct AdaptdConfig {
+  sim::TimeNs period = 2 * sim::kSecond;
+  sim::TimeNs until = 100'000 * sim::kSecond;
+  /// Rebalance when the busiest CPU took more than `imbalance_ratio` times
+  /// the interrupts of the least busy one over the last period (and a
+  /// meaningful number of them).
+  double imbalance_ratio = 4.0;
+  std::uint64_t min_irqs = 50;
+};
+
+class Adaptd {
+ public:
+  Adaptd(kernel::Machine& m, const AdaptdConfig& cfg);
+
+  Adaptd(const Adaptd&) = delete;
+  Adaptd& operator=(const Adaptd&) = delete;
+
+  /// True once the controller switched the node to balanced routing.
+  bool rebalanced() const { return rebalanced_; }
+  sim::TimeNs rebalanced_at() const { return rebalanced_at_; }
+  std::uint64_t decisions() const { return decisions_; }
+
+  /// Per-CPU interrupt deltas observed at the last decision point.
+  const std::vector<std::uint64_t>& last_cpu_irqs() const {
+    return last_cpu_irqs_;
+  }
+
+  /// Total kernel interrupt-group seconds (from the KTAU profile) at the
+  /// last decision — the measurement the controller logs alongside its
+  /// routing decision.
+  double observed_irq_sec() const { return observed_irq_sec_; }
+
+ private:
+  kernel::Program controller_program();
+  void decide_once();
+
+  kernel::Machine& machine_;
+  AdaptdConfig cfg_;
+  user::KtauHandle handle_;
+  bool rebalanced_ = false;
+  sim::TimeNs rebalanced_at_ = 0;
+  std::uint64_t decisions_ = 0;
+  double observed_irq_sec_ = 0;
+  std::vector<std::uint64_t> last_cpu_irqs_;
+  /// Per-CPU counter baseline at the previous decision (deltas, not
+  /// lifetime totals, drive the decision).
+  std::vector<std::uint64_t> prev_cpu_irqs_;
+};
+
+}  // namespace ktau::clients

@@ -1,0 +1,48 @@
+#include "clients/ktaud.hpp"
+
+namespace ktau::clients {
+
+Ktaud::Ktaud(kernel::Machine& m, const KtaudConfig& cfg)
+    : machine_(m), cfg_(cfg), handle_(m.proc()) {
+  task_ = &machine_.spawn("ktaud");
+  task_->is_daemon = true;
+  task_->program = daemon_program();
+  machine_.launch(*task_);
+}
+
+void Ktaud::extract_once() {
+  const meas::Scope scope =
+      cfg_.pids.empty() ? meas::Scope::All : meas::Scope::Other;
+  std::uint64_t bytes = 0;
+  if (cfg_.collect_traces) {
+    auto trace = handle_.get_trace(scope, cfg_.pids);
+    for (const auto& t : trace.tasks) {
+      total_records_ += t.records.size();
+      total_dropped_ += t.dropped;
+      bytes += t.records.size() * sizeof(meas::TraceRecord);
+    }
+    traces_.push_back(std::move(trace));
+  }
+  if (cfg_.collect_profiles) {
+    auto prof = handle_.get_profile(scope, cfg_.pids);
+    for (const auto& t : prof.tasks) {
+      bytes += t.events.size() * 28 + t.bridge.size() * 32;
+    }
+    profiles_.push_back(std::move(prof));
+  }
+  ++extractions_;
+  // Charge the daemon's user-space processing cost for what it pulled.
+  if (task_->cpu != nullptr) {
+    task_->cpu->clock.consume_cycles((bytes * cfg_.process_per_kb + 1023) /
+                                     1024);
+  }
+}
+
+kernel::Program Ktaud::daemon_program() {
+  while (machine_.engine().now() < cfg_.until) {
+    co_await kernel::SleepFor{cfg_.period};
+    extract_once();
+  }
+}
+
+}  // namespace ktau::clients

@@ -1,0 +1,70 @@
+// KTAUD — the KTAU daemon (paper §4.5).
+//
+// KTAUD periodically extracts profile and trace data from the kernel via
+// libKtau, for all processes or a configured subset.  It exists primarily
+// to monitor processes that cannot be source-instrumented.  Because it is a
+// real process in the simulation, it also perturbs the system exactly the
+// way the paper's daemon-based-monitoring discussion (§2) worries about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/machine.hpp"
+#include "ktau/snapshot.hpp"
+#include "libktau/libktau.hpp"
+
+namespace ktau::clients {
+
+struct KtaudConfig {
+  sim::TimeNs period = 1 * sim::kSecond;
+  sim::TimeNs until = 300 * sim::kSecond;
+  bool collect_profiles = true;
+  bool collect_traces = true;
+  /// Empty: monitor everything ("all" mode); otherwise "other" mode on
+  /// these pids.
+  std::vector<meas::Pid> pids;
+  /// User-space processing cost per KiB of extracted data, cycles.
+  std::uint64_t process_per_kb = 2500;
+};
+
+class Ktaud {
+ public:
+  /// Spawns the daemon process on `m` and launches it.
+  Ktaud(kernel::Machine& m, const KtaudConfig& cfg);
+
+  Ktaud(const Ktaud&) = delete;
+  Ktaud& operator=(const Ktaud&) = delete;
+
+  // -- archives (read after the run) ----------------------------------------
+
+  const std::vector<meas::ProfileSnapshot>& profiles() const {
+    return profiles_;
+  }
+  const std::vector<meas::TraceSnapshot>& traces() const { return traces_; }
+
+  /// Total trace records captured across all extractions.
+  std::uint64_t total_records() const { return total_records_; }
+  /// Total records lost to ring-buffer overwrite (reported by the kernel).
+  std::uint64_t total_dropped() const { return total_dropped_; }
+  std::uint64_t extractions() const { return extractions_; }
+
+  kernel::Task& task() { return *task_; }
+
+ private:
+  kernel::Program daemon_program();
+  void extract_once();
+
+  kernel::Machine& machine_;
+  KtaudConfig cfg_;
+  user::KtauHandle handle_;
+  kernel::Task* task_ = nullptr;
+
+  std::vector<meas::ProfileSnapshot> profiles_;
+  std::vector<meas::TraceSnapshot> traces_;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t total_dropped_ = 0;
+  std::uint64_t extractions_ = 0;
+};
+
+}  // namespace ktau::clients

@@ -1,0 +1,33 @@
+#include "clients/runktau.hpp"
+
+namespace ktau::clients {
+
+RunKtau::RunKtau(kernel::Machine& m, kernel::Task& child, sim::TimeNs poll)
+    : machine_(m), child_(child), poll_(poll), handle_(m.proc()) {
+  machine_.launch(child_);
+  kernel::Task& wrapper = machine_.spawn("runktau");
+  wrapper.program = wrapper_program();
+  machine_.launch(wrapper);
+}
+
+kernel::Program RunKtau::wrapper_program() {
+  const sim::TimeNs started = machine_.engine().now();
+  // waitpid stand-in: poll for child completion.
+  while (!child_.exited) {
+    co_await kernel::SleepFor{poll_};
+  }
+  child_elapsed_ = machine_.engine().now() - started;
+  // The child is dead; its profile lives in the kernel's reaped set,
+  // reachable through the "all" scope.  Filter our pid out of the snapshot.
+  auto all = handle_.get_profile(meas::Scope::All);
+  meas::ProfileSnapshot mine;
+  mine.timestamp = all.timestamp;
+  mine.cpu_freq = all.cpu_freq;
+  mine.events = all.events;
+  for (auto& t : all.tasks) {
+    if (t.pid == child_.pid) mine.tasks.push_back(std::move(t));
+  }
+  result_ = std::move(mine);
+}
+
+}  // namespace ktau::clients

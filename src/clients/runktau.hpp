@@ -1,0 +1,49 @@
+// runKtau — the time(1)-like client (paper §4.5).
+//
+// `time` spawns a child, waits, and reports rudimentary numbers; runKtau
+// does the same but extracts the child's *detailed KTAU kernel profile*.
+// Here the wrapper is a real simulated process: it polls for the child's
+// completion (a waitpid stand-in) and then reads the profile through
+// libKtau's "other/all" path, so the extraction itself goes through the
+// proc protocol rather than peeking at simulator internals.
+#pragma once
+
+#include <optional>
+
+#include "kernel/machine.hpp"
+#include "ktau/snapshot.hpp"
+#include "libktau/libktau.hpp"
+
+namespace ktau::clients {
+
+class RunKtau {
+ public:
+  /// Wraps `child` (already spawned on `m`, program installed but NOT
+  /// launched).  RunKtau launches the child and spawns the wrapper process.
+  RunKtau(kernel::Machine& m, kernel::Task& child,
+          sim::TimeNs poll = 50 * sim::kMillisecond);
+
+  RunKtau(const RunKtau&) = delete;
+  RunKtau& operator=(const RunKtau&) = delete;
+
+  /// True once the child exited and its profile was captured.
+  bool completed() const { return result_.has_value(); }
+
+  /// The child's profile snapshot (throws if not completed).
+  const meas::ProfileSnapshot& result() const { return result_.value(); }
+
+  /// Child wall-clock run time as the wrapper observed it.
+  sim::TimeNs child_elapsed() const { return child_elapsed_; }
+
+ private:
+  kernel::Program wrapper_program();
+
+  kernel::Machine& machine_;
+  kernel::Task& child_;
+  sim::TimeNs poll_;
+  user::KtauHandle handle_;
+  std::optional<meas::ProfileSnapshot> result_;
+  sim::TimeNs child_elapsed_ = 0;
+};
+
+}  // namespace ktau::clients

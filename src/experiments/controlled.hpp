@@ -1,0 +1,70 @@
+// The controlled experiments of paper §5.1 (Figure 2).
+//
+// Small, well-understood setups whose KTAU views are checked against known
+// injected behaviour:
+//   A/B — a 16-rank LU run over 8 dual-CPU nodes with an artificial
+//         "overhead" process (10 s sleep / 3 s busy loop) on one node:
+//         kernel-wide per-node scheduling view and the per-process
+//         breakdown that identifies the culprit;
+//   C  — 4 LU ranks on a 4-CPU SMP with a cycle-stealing daemon pinned to
+//         CPU0: voluntary vs involuntary scheduling per rank;
+//   D  — merged user/kernel profile vs the user-only TAU view;
+//   E  — merged user+kernel trace showing kernel events inside MPI_Send
+//         (extracted by a live ktaud, since trace buffers are drained from
+//         the kernel while processes run).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/render.hpp"
+#include "analysis/views.hpp"
+#include "experiments/chiba.hpp"
+
+namespace ktau::expt {
+
+struct ControlledClusterResult {
+  double job_sec = 0;
+  /// Figure 2-A: per-node kernel-wide scheduling time (sum over processes).
+  std::vector<std::pair<std::string, double>> node_sched_sec;
+  /// Same view, involuntary (preemptive) scheduling only — the component
+  /// the injected hog inflates on its node.
+  std::vector<std::pair<std::string, double>> node_invol_sec;
+  /// Figure 2-B: the hog node's full per-process snapshot.
+  meas::ProfileSnapshot hog_node;
+  kernel::NodeId hog_node_id = 0;
+  std::string hog_name;
+  /// Figure 2-D: merged profile of one rank on a clean node (raw vs true
+  /// exclusive per row).
+  std::vector<analysis::MergedRow> merged_rank;
+  int merged_rank_id = 0;
+};
+
+/// Runs the §5.1 cluster experiment (Figures 2-A/B/D).
+ControlledClusterResult run_controlled_cluster(std::uint64_t seed = 3,
+                                               double scale = 1.0);
+
+struct VolInvolResult {
+  /// Figure 2-C: per-LU-rank voluntary / involuntary scheduling seconds.
+  std::vector<double> vol_sec;
+  std::vector<double> invol_sec;
+};
+
+/// Runs the 4-CPU SMP experiment with a daemon pinned to CPU0.
+VolInvolResult run_smp_volinvol(std::uint64_t seed = 5, double scale = 1.0);
+
+struct TraceDemoResult {
+  /// Figure 2-E: merged user+kernel timeline of one rank, windowed around
+  /// one MPI_Send activation.
+  std::vector<analysis::TimelineEvent> send_window;
+  /// Full merged timeline (for broader inspection).
+  std::vector<analysis::TimelineEvent> full;
+  std::uint64_t ktaud_extractions = 0;
+};
+
+/// Runs the tracing demonstration (two ranks exchanging on one node, so
+/// bottom-half receive processing appears inside the send path).
+TraceDemoResult run_trace_demo(std::uint64_t seed = 9);
+
+}  // namespace ktau::expt

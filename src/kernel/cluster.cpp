@@ -1,0 +1,11 @@
+#include "kernel/cluster.hpp"
+
+namespace ktau::kernel {
+
+Machine& Cluster::add_machine(const MachineConfig& cfg) {
+  const auto id = static_cast<NodeId>(machines_.size());
+  machines_.push_back(std::make_unique<Machine>(engine_, id, cfg));
+  return *machines_.back();
+}
+
+}  // namespace ktau::kernel

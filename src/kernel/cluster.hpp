@@ -1,0 +1,45 @@
+// Cluster: the discrete-event engine plus a set of simulated nodes.
+//
+// Experiments construct a Cluster, add Machines (one per physical node of
+// the testbed being modelled), wire a network fabric over them (src/knet),
+// spawn workloads, and run the engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kernel/config.hpp"
+#include "kernel/machine.hpp"
+#include "sim/engine.hpp"
+
+namespace ktau::kernel {
+
+class Cluster {
+ public:
+  Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+
+  /// Adds a node.  Node ids are dense, in creation order.
+  Machine& add_machine(const MachineConfig& cfg);
+
+  Machine& machine(NodeId id) { return *machines_.at(id); }
+  const Machine& machine(NodeId id) const { return *machines_.at(id); }
+  std::size_t size() const { return machines_.size(); }
+
+  /// Runs the simulation until no events remain.
+  void run() { engine_.run(); }
+
+  /// Runs the simulation up to (and including) time `t`.
+  void run_until(sim::TimeNs t) { engine_.run_until(t); }
+
+  sim::TimeNs now() const { return engine_.now(); }
+
+ private:
+  sim::Engine engine_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+};
+
+}  // namespace ktau::kernel

@@ -1,0 +1,62 @@
+// Per-CPU state of a simulated node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "kernel/types.hpp"
+#include "ktau/clock.hpp"
+#include "ktau/profile.hpp"
+#include "sim/engine.hpp"
+
+namespace ktau::kernel {
+
+struct Cpu {
+  CpuId id = 0;
+
+  /// Execution clock: `clock.cursor` is the simulated time up to which this
+  /// CPU's execution is committed.  Kernel paths advance it in immediate
+  /// mode; user bursts advance it when they end or are interrupted.
+  meas::CpuClock clock;
+
+  /// Currently running task (null == idle).
+  Task* current = nullptr;
+
+  /// Runnable tasks waiting for this CPU.
+  std::deque<Task*> runqueue;
+
+  // -- user-mode burst in progress -------------------------------------------
+  bool in_user_burst = false;
+  sim::TimeNs burst_start = 0;
+  sim::EventId burst_event = sim::kNoEvent;
+  /// Wall-time dilation factor applied to the burst in progress (SMP
+  /// memory-contention model); re-evaluated at every pause/resume.
+  double burst_factor = 1.0;
+
+  // -- timer tick -------------------------------------------------------------
+  bool tick_armed = false;
+  sim::EventId tick_event = sim::kNoEvent;
+  std::uint64_t ticks_since_balance = 0;
+
+  // -- scheduling bookkeeping ---------------------------------------------------
+  bool dispatch_pending = false;
+
+  // -- softirq ("bottom half") state -------------------------------------------
+  std::uint32_t softirq_pending = 0;
+
+  // -- idle context -------------------------------------------------------------
+  /// The swapper task's measurement profile: interrupt activity while the
+  /// CPU is idle is charged here, exactly as KTAU charges pid 0.
+  meas::TaskProfile idle_prof;
+  Pid idle_pid = 0;
+  std::string idle_name;
+
+  // -- counters (simulator health / experiments) --------------------------------
+  std::uint64_t hard_irqs = 0;
+  std::uint64_t context_switches = 0;
+
+  bool idle() const { return current == nullptr; }
+};
+
+}  // namespace ktau::kernel

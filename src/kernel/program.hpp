@@ -1,0 +1,141 @@
+// Application behaviour model: programs as C++20 coroutines.
+//
+// A simulated "user program" is a coroutine that co_awaits kernel actions:
+// compute bursts, sleeps, socket sends/receives, yields.  The kernel resumes
+// the coroutine whenever the previous action completes, exactly like a real
+// process resuming from a syscall.  This keeps workload models (NPB-LU
+// pipelined SSOR, Sweep3D wavefronts, the periodic "overhead" daemon of the
+// paper's controlled experiments) readable as straight-line code.
+//
+// Programs model *behaviour*, not arithmetic: a Compute action stands for a
+// region of user code that takes `duration` of CPU time (it can be preempted
+// and interrupted); communication actions run the full simulated
+// syscall/TCP path.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "sim/time.hpp"
+
+namespace ktau::kernel {
+
+/// User-mode CPU burst of the given duration (interruptible, preemptible).
+struct Compute {
+  sim::TimeNs duration;
+};
+
+/// sys_nanosleep: block for the given duration.
+struct SleepFor {
+  sim::TimeNs duration;
+};
+
+/// sys_writev on a connected socket: send `bytes` (non-blocking in this
+/// model — send buffers are unbounded; the cost is the kernel send path).
+struct SendMsg {
+  int socket;
+  std::uint64_t bytes;
+};
+
+/// sys_read on a connected socket: block until `bytes` are available.
+/// `spin_ns` models MPICH-style user-space polling: the receiver retries
+/// non-blocking reads, burning CPU for up to spin_ns, before issuing the
+/// blocking read (0 = block immediately).
+struct RecvMsg {
+  int socket;
+  std::uint64_t bytes;
+  sim::TimeNs spin_ns = 0;
+};
+
+/// sys_sched_yield.
+struct Yield {};
+
+/// A getpid-style null syscall (used by the lmbench-like microbenchmarks).
+struct NullSyscall {};
+
+/// A minor page fault (exception-group kernel activity).
+struct Fault {};
+
+using Action =
+    std::variant<Compute, SleepFor, SendMsg, RecvMsg, Yield, NullSyscall, Fault>;
+
+/// Coroutine type for simulated programs.
+///
+///   Program hog(AppEnv& env) {
+///     for (;;) {
+///       co_await SleepFor{10 * sim::kSecond};
+///       co_await Compute{3 * sim::kSecond};
+///     }
+///   }
+///
+/// The coroutine starts suspended; the kernel pulls actions with next().
+class Program {
+ public:
+  struct promise_type {
+    Action pending{Compute{0}};
+    std::exception_ptr error;
+
+    Program get_return_object() {
+      return Program(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { error = std::current_exception(); }
+
+    struct ActionAwaiter {
+      constexpr bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      constexpr void await_resume() const noexcept {}
+    };
+
+    ActionAwaiter await_transform(Action a) noexcept {
+      pending = std::move(a);
+      return {};
+    }
+  };
+
+  Program() = default;
+  explicit Program(std::coroutine_handle<promise_type> h) : h_(h) {}
+  Program(Program&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Program& operator=(Program&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  ~Program() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return !h_ || h_.done(); }
+
+  /// Resumes the program until its next action (or completion).
+  /// Returns std::nullopt when the program has finished.  Rethrows any
+  /// exception that escaped the coroutine body.
+  std::optional<Action> next() {
+    if (!h_ || h_.done()) return std::nullopt;
+    h_.resume();
+    if (h_.promise().error) std::rethrow_exception(h_.promise().error);
+    if (h_.done()) return std::nullopt;
+    return h_.promise().pending;
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace ktau::kernel

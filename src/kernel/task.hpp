@@ -1,0 +1,107 @@
+// Task: the simulated process control block.
+//
+// Mirrors the parts of the Linux task_struct that KTAU touches: identity,
+// scheduler state, and — central to the paper (§4.2) — the per-process KTAU
+// measurement structure that the measurement system attaches on process
+// creation.  Task is a data record owned and managed by Machine; kernel
+// subsystems (scheduler, net stack) manipulate its fields directly, as
+// kernel code does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "kernel/program.hpp"
+#include "kernel/types.hpp"
+#include "ktau/profile.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ktau::kernel {
+
+struct Cpu;
+
+/// Result of a (possibly blocking) syscall body.
+enum class SyscallStatus {
+  Completed,   // syscall finished; the task continues to its next action
+  Blocked,     // task was blocked inside the syscall; a continuation is set
+  WouldBlock,  // non-blocking attempt found no data (EAGAIN)
+};
+
+class Task {
+ public:
+  Task(Pid pid, std::string name, NodeId node)
+      : pid(pid), name(std::move(name)), node(node) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  // -- identity -------------------------------------------------------------
+  Pid pid;
+  std::string name;
+  NodeId node;
+  bool is_daemon = false;
+
+  // -- scheduler state --------------------------------------------------------
+  TaskState state = TaskState::Runnable;
+  CpuMask affinity = kAllCpus;
+  CpuId last_cpu = 0;
+  sim::TimeNs slice_remaining = 0;
+  /// Incremented whenever the task is switched out; invalidates pending
+  /// continuation events that captured an older epoch.
+  std::uint64_t run_epoch = 0;
+  /// CPU the task is currently running on (null unless state == Running).
+  Cpu* cpu = nullptr;
+
+  // -- program ----------------------------------------------------------------
+  Program program;
+  /// Action currently being executed (empty between actions).
+  std::optional<Action> current_action;
+  /// Remaining user-mode time of a partially executed Compute action.
+  sim::TimeNs compute_remaining = 0;
+  /// Continuation run when the task is switched in after blocking inside a
+  /// syscall (finishes the syscall: copies, probe exits, possibly
+  /// re-blocks).  Null when no syscall is in flight.
+  std::function<SyscallStatus(Cpu&, Task&)> resume;
+
+  /// True while blocked in an interruptible sleep (signals wake it early).
+  bool interruptible_sleep = false;
+
+  /// True once a Compute action's remaining time has been initialised
+  /// (distinguishes a fresh Compute action from one fully consumed).
+  bool compute_in_progress = false;
+
+  /// Remaining user-space poll budget of the current RecvMsg action.
+  /// kSpinUnset marks a freshly fetched action.
+  static constexpr sim::TimeNs kSpinUnset = ~sim::TimeNs{0};
+  sim::TimeNs spin_left = kSpinUnset;
+  /// True while the current user burst is a receive-poll spin (the action
+  /// must be retried, not completed, when the burst ends).
+  bool spinning = false;
+
+  /// Wait-channel token: incremented on every block; timer wakeups capture
+  /// it so a stale wakeup cannot wake the task from a *different* block.
+  std::uint64_t wait_token = 0;
+
+  /// Signals delivered while not running; serviced at the next switch-in.
+  std::uint32_t pending_signals = 0;
+
+  // -- measurement --------------------------------------------------------------
+  /// The per-process KTAU measurement structure (paper Figure 1:
+  /// "task struct" + KTAU state).
+  meas::TaskProfile prof;
+  /// Open schedule-event frame: set when the task is switched out (entry
+  /// recorded then), closed when it is switched back in.
+  meas::EventId open_sched_event = meas::kNoEventId;
+
+  // -- lifetime ---------------------------------------------------------------
+  sim::TimeNs spawn_time = 0;  // when the task became runnable
+  sim::TimeNs start_time = 0;  // first time on a CPU
+  sim::TimeNs end_time = 0;    // exit time
+  bool started = false;
+  bool exited = false;
+};
+
+}  // namespace ktau::kernel

@@ -1,0 +1,41 @@
+// Shared identifiers for the simulated kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "ktau/system.hpp"
+
+namespace ktau::kernel {
+
+using Pid = meas::Pid;
+using CpuId = std::uint32_t;
+using NodeId = std::uint32_t;
+
+/// Affinity bitmask over CPUs of one node (bit i == CPU i allowed).
+using CpuMask = std::uint64_t;
+
+inline constexpr CpuMask kAllCpus = ~0ULL;
+
+constexpr CpuMask cpu_bit(CpuId c) { return 1ULL << c; }
+constexpr bool mask_allows(CpuMask m, CpuId c) { return (m >> c) & 1ULL; }
+
+/// Scheduler-visible task states.
+enum class TaskState {
+  Runnable,  // on a runqueue, waiting for a CPU
+  Running,   // current on some CPU
+  Blocked,   // waiting for an event (I/O, sleep, message)
+  Dead,      // exited; profile preserved by the measurement system
+};
+
+/// Softirq vectors (subset of Linux's).
+enum SoftirqVec : std::uint32_t {
+  kSoftirqTimer = 0,
+  kSoftirqNetRx = 1,
+  kSoftirqCount = 2,
+};
+
+class Task;
+class Machine;
+class Cluster;
+
+}  // namespace ktau::kernel

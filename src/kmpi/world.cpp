@@ -1,0 +1,70 @@
+#include "kmpi/world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ktau::mpi {
+
+World::World(kernel::Cluster& cluster, knet::Fabric& fabric,
+             std::vector<RankPlacement> placement, std::string app_name)
+    : cluster_(cluster), fabric_(fabric), placement_(std::move(placement)) {
+  tasks_.reserve(placement_.size());
+  for (std::size_t r = 0; r < placement_.size(); ++r) {
+    const RankPlacement& p = placement_[r];
+    kernel::Machine& m = cluster_.machine(p.node);
+    kernel::Task& t = m.spawn(app_name + "." + std::to_string(r), p.affinity,
+                              p.start_delay);
+    tasks_.push_back(&t);
+  }
+}
+
+void World::launch_all() {
+  for (std::size_t r = 0; r < tasks_.size(); ++r) {
+    cluster_.machine(placement_[r].node).launch(*tasks_[r]);
+  }
+}
+
+const knet::Fabric::Connection& World::chan(int src, int dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+      static_cast<std::uint32_t>(dst);
+  const auto it = chans_.find(key);
+  if (it != chans_.end()) return it->second;
+  const auto conn =
+      fabric_.connect(placement_.at(src).node, placement_.at(dst).node);
+  return chans_.emplace(key, conn).first->second;
+}
+
+kernel::Action World::send(int self, int dst, std::uint64_t payload) {
+  if (dst == self) throw std::invalid_argument("MPI send to self");
+  const auto& c = chan(self, dst);
+  return kernel::SendMsg{c.fd_a, payload + kHeaderBytes};
+}
+
+kernel::Action World::recv(int self, int src, std::uint64_t payload) {
+  if (src == self) throw std::invalid_argument("MPI recv from self");
+  const auto& c = chan(src, self);
+  return kernel::RecvMsg{c.fd_b, payload + kHeaderBytes, recv_spin};
+}
+
+std::vector<int> World::allreduce_peers(int self) const {
+  std::vector<int> peers;
+  for (int bit = 1; bit < size(); bit <<= 1) {
+    const int peer = self ^ bit;
+    if (peer < size()) peers.push_back(peer);
+  }
+  return peers;
+}
+
+sim::TimeNs World::job_completion() const {
+  sim::TimeNs done = 0;
+  for (const kernel::Task* t : tasks_) done = std::max(done, t->end_time);
+  return done;
+}
+
+sim::TimeNs World::rank_exec_time(int rank) const {
+  const kernel::Task& t = *tasks_.at(rank);
+  return t.end_time > t.start_time ? t.end_time - t.start_time : 0;
+}
+
+}  // namespace ktau::mpi

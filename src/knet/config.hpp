@@ -1,0 +1,63 @@
+// Network model configuration.
+//
+// Models the Chiba-City interconnect of the paper's §5.2 experiments:
+// switched Fast Ethernet between nodes, one NIC per node (shared by both
+// CPUs/ranks of a node — the contention that makes 64x2 configurations
+// interesting), and a simplified TCP stack whose per-segment kernel costs
+// land in the 27-36 us/call band of Figure 10 at 450 MHz.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace ktau::knet {
+
+struct NetConfig {
+  /// Link bandwidth in bytes/second (100 Mb/s Fast Ethernet).
+  double bandwidth_bps = 12.5e6;
+
+  /// One-way wire + switch latency.
+  sim::TimeNs latency = 70 * sim::kMicrosecond;
+
+  /// Mean of the exponential latency jitter added per segment (switch
+  /// queueing, serialization on shared segments).
+  sim::TimeNs latency_jitter_mean = 12 * sim::kMicrosecond;
+
+  /// TCP segment payload carried per kernel "TCP call".  Default is the
+  /// Ethernet MTU payload: one call per wire packet, as on the paper's
+  /// testbed (its Figure 10 reports 27-36 us per TCP call — the per-packet
+  /// cost of the 450 MHz receive path).
+  std::uint32_t segment_bytes = 1460;
+
+  // -- kernel path costs, in CPU cycles -------------------------------------
+
+  /// tcp_sendmsg per segment (checksum, segmentation, queueing).
+  std::uint64_t tcp_send_base = 7000;
+
+  /// tcp_v4_rcv per segment, excluding the data copy.
+  std::uint64_t tcp_rcv_base = 12000;
+
+  /// Extra tcp_v4_rcv cycles when the segment is processed on a CPU other
+  /// than the one the consuming task last ran on: the cache-line transfer
+  /// penalty behind Figure 10's ~11.5% dilation (cf. paper ref [19]).
+  std::uint64_t tcp_rcv_cache_penalty = 4200;
+
+  /// Copy cost (kernel<->user and skb copies), cycles per KiB.
+  std::uint64_t copy_per_kb = 700;
+
+  /// NIC interrupt handler cost per packet moved off the ring.
+  std::uint64_t nic_per_packet = 2500;
+
+  /// sock_sendmsg / sock_recvmsg bookkeeping.
+  std::uint64_t sock_glue = 900;
+
+  /// Hidden instrumentation density of the per-segment TCP paths (probe
+  /// pairs each tcp_sendmsg / tcp_v4_rcv stands for; see DESIGN.md §4).
+  std::uint32_t tcp_inner_probes = 10;
+
+  /// Seed for latency jitter.
+  std::uint64_t seed = 0xFEED;
+};
+
+}  // namespace ktau::knet

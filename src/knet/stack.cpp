@@ -1,0 +1,262 @@
+#include "knet/stack.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "kernel/cluster.hpp"
+
+namespace ktau::knet {
+
+using kernel::Cpu;
+using kernel::SyscallStatus;
+using kernel::Task;
+
+NodeStack::NodeStack(Fabric& fabric, kernel::Machine& machine,
+                     const NetConfig& cfg)
+    : fabric_(fabric),
+      machine_(machine),
+      cfg_(cfg),
+      backlog_(machine.cpu_count()) {
+  auto& ktau = machine_.ktau();
+  ev_sys_writev_ = ktau.map_event("sys_writev", meas::Group::Syscall);
+  ev_sys_read_ = ktau.map_event("sys_read", meas::Group::Syscall);
+  ev_sock_sendmsg_ = ktau.map_event("sock_sendmsg", meas::Group::Net);
+  ev_sock_recvmsg_ = ktau.map_event("sock_recvmsg", meas::Group::Net);
+  ev_tcp_sendmsg_ = ktau.map_event("tcp_sendmsg", meas::Group::Net);
+  ev_tcp_v4_rcv_ = ktau.map_event("tcp_v4_rcv", meas::Group::Net);
+  ev_net_rx_action_ = ktau.map_event("net_rx_action", meas::Group::BottomHalf);
+  ev_eth_irq_ = ktau.map_event("eth0_irq", meas::Group::Irq);
+  ev_net_rx_bytes_ = ktau.map_event("net_rx_bytes", meas::Group::Net);
+  ev_net_tx_bytes_ = ktau.map_event("net_tx_bytes", meas::Group::Net);
+
+  machine_.install_net(this);
+  machine_.register_softirq(kernel::kSoftirqNetRx,
+                            [this](Cpu& cpu) { net_rx_softirq(cpu); });
+  irq_line_ =
+      machine_.register_irq(ev_eth_irq_, [this](Cpu& cpu) { nic_irq(cpu); });
+}
+
+int NodeStack::alloc_socket() {
+  sockets_.push_back(std::make_unique<Socket>());
+  return static_cast<int>(sockets_.size()) - 1;
+}
+
+std::uint64_t NodeStack::copy_cycles(std::uint64_t bytes) const {
+  return (bytes * cfg_.copy_per_kb + 1023) / 1024;
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+SyscallStatus NodeStack::sys_send(Cpu& cpu, Task& /*t*/,
+                                  const kernel::SendMsg& m) {
+  Socket& sock = socket(m.socket);
+  const auto& costs = machine_.config().costs;
+
+  machine_.kprobe_entry(cpu, ev_sys_writev_);
+  cpu.clock.consume_cycles(costs.syscall_entry);
+  machine_.ktau().hidden_pairs(cpu.clock, meas::Group::Syscall,
+                               costs.syscall_inner_probes);
+  machine_.kprobe_entry(cpu, ev_sock_sendmsg_);
+  cpu.clock.consume_cycles(cfg_.sock_glue);
+
+  const bool loopback = sock.peer_node == machine_.id();
+  NodeStack& peer_stack = fabric_.stack(sock.peer_node);
+
+  std::uint64_t remaining = m.bytes;
+  while (remaining > 0) {
+    const auto seg = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, cfg_.segment_bytes));
+    remaining -= seg;
+
+    machine_.kprobe_entry(cpu, ev_tcp_sendmsg_);
+    cpu.clock.consume_cycles(cfg_.tcp_send_base + copy_cycles(seg));
+    machine_.ktau().hidden_pairs(cpu.clock, meas::Group::Net,
+                                 cfg_.tcp_inner_probes);
+    machine_.kprobe_exit(cpu, ev_tcp_sendmsg_);
+    machine_.katomic(cpu, ev_net_tx_bytes_, static_cast<double>(seg));
+
+    const Packet pkt{sock.peer_fd, seg};
+    if (loopback) {
+      // Local delivery: straight into this CPU's softirq backlog; the
+      // NET_RX softirq will run when this syscall's kernel path ends.
+      backlog_[cpu.id].push_back(pkt);
+      machine_.raise_softirq(cpu, kernel::kSoftirqNetRx);
+    } else {
+      // Serialize on the shared NIC, then traverse the link.
+      const sim::TimeNs tx_time = static_cast<sim::TimeNs>(
+          static_cast<double>(seg) / cfg_.bandwidth_bps * sim::kSecond);
+      nic_free_at_ = std::max(nic_free_at_, cpu.clock.cursor) + tx_time;
+      const sim::TimeNs jitter = static_cast<sim::TimeNs>(
+          fabric_.rng().exponential(
+              static_cast<double>(cfg_.latency_jitter_mean)));
+      const sim::TimeNs arrival = nic_free_at_ + cfg_.latency + jitter;
+      machine_.engine().schedule_at(
+          arrival, [&peer_stack, pkt] { peer_stack.deliver(pkt); });
+    }
+    sock.bytes_sent += seg;
+  }
+
+  cpu.clock.consume_cycles(cfg_.sock_glue);
+  machine_.kprobe_exit(cpu, ev_sock_sendmsg_);
+  cpu.clock.consume_cycles(costs.syscall_exit);
+  machine_.kprobe_exit(cpu, ev_sys_writev_);
+  return SyscallStatus::Completed;
+}
+
+// ---------------------------------------------------------------------------
+// Receive path: syscall side
+// ---------------------------------------------------------------------------
+
+SyscallStatus NodeStack::sys_recv(Cpu& cpu, Task& t, const kernel::RecvMsg& m,
+                                  bool allow_block) {
+  Socket& sock = socket(m.socket);
+  sock.owner = &t;
+  const auto& costs = machine_.config().costs;
+
+  machine_.kprobe_entry(cpu, ev_sys_read_);
+  cpu.clock.consume_cycles(costs.syscall_entry);
+  machine_.ktau().hidden_pairs(cpu.clock, meas::Group::Syscall,
+                               costs.syscall_inner_probes);
+
+  if (sock.rx_available >= m.bytes) {
+    return finish_recv(cpu, t, m.socket, m.bytes);
+  }
+
+  if (!allow_block) {
+    // Non-blocking attempt (the user-space poll loop): EAGAIN.  Register
+    // as the socket's waiter anyway so the receive path can poke the
+    // spinner the moment enough data arrives.
+    sock.waiter = &t;
+    sock.wanted = m.bytes;
+    cpu.clock.consume_cycles(costs.syscall_exit);
+    machine_.kprobe_exit(cpu, ev_sys_read_);
+    return SyscallStatus::WouldBlock;
+  }
+
+  // Not enough data: register as the socket's waiter and block.  The
+  // sys_read activation frame stays open across the block, so the nested
+  // schedule_vol wait is part of sys_read's inclusive time — the structure
+  // Figure 4 (MPI_Recv's kernel call groups) displays.
+  sock.waiter = &t;
+  sock.wanted = m.bytes;
+  const int fd = m.socket;
+  const std::uint64_t bytes = m.bytes;
+  t.resume = [this, fd, bytes](Cpu& c, Task& task) {
+    return finish_recv(c, task, fd, bytes);
+  };
+  machine_.block_current(cpu, t);
+  return SyscallStatus::Blocked;
+}
+
+SyscallStatus NodeStack::finish_recv(Cpu& cpu, Task& t, int fd,
+                                     std::uint64_t bytes) {
+  Socket& sock = socket(fd);
+  if (sock.rx_available < bytes) {
+    // Spurious wakeup (defensive; wakes are normally exact): wait again.
+    sock.waiter = &t;
+    sock.wanted = bytes;
+    machine_.block_current(cpu, t);
+    return SyscallStatus::Blocked;
+  }
+  const auto& costs = machine_.config().costs;
+  sock.rx_available -= bytes;
+  if (sock.waiter == &t) sock.waiter = nullptr;  // poll satisfied
+
+  machine_.kprobe_entry(cpu, ev_sock_recvmsg_);
+  cpu.clock.consume_cycles(cfg_.sock_glue + copy_cycles(bytes));
+  machine_.kprobe_exit(cpu, ev_sock_recvmsg_);
+
+  cpu.clock.consume_cycles(costs.syscall_exit);
+  machine_.kprobe_exit(cpu, ev_sys_read_);
+  return SyscallStatus::Completed;
+}
+
+// ---------------------------------------------------------------------------
+// Receive path: interrupt side
+// ---------------------------------------------------------------------------
+
+void NodeStack::deliver(const Packet& p) {
+  rx_ring_.push_back(p);
+  machine_.raise_device_irq(irq_line_);
+}
+
+void NodeStack::nic_irq(Cpu& cpu) {
+  // Drain the rx ring into this CPU's softirq backlog (netif_rx).  Deferred
+  // interrupts drain everything that accumulated, so a burst of segments is
+  // handled by one hard IRQ (interrupt coalescing falls out naturally).
+  while (!rx_ring_.empty()) {
+    backlog_[cpu.id].push_back(rx_ring_.front());
+    rx_ring_.pop_front();
+    cpu.clock.consume_cycles(cfg_.nic_per_packet);
+  }
+  machine_.raise_softirq(cpu, kernel::kSoftirqNetRx);
+}
+
+void NodeStack::net_rx_softirq(Cpu& cpu) {
+  auto& backlog = backlog_[cpu.id];
+  if (backlog.empty()) return;
+  machine_.kprobe_entry(cpu, ev_net_rx_action_);
+  while (!backlog.empty()) {
+    const Packet p = backlog.front();
+    backlog.pop_front();
+    Socket& sock = socket(p.dst_fd);
+
+    machine_.kprobe_entry(cpu, ev_tcp_v4_rcv_);
+    std::uint64_t cost = cfg_.tcp_rcv_base + copy_cycles(p.bytes);
+    // Cache penalty: the consumer's working set lives on another CPU.
+    if (sock.owner != nullptr && sock.owner->last_cpu != cpu.id) {
+      cost += cfg_.tcp_rcv_cache_penalty;
+      ++rx_penalized_;
+    }
+    cpu.clock.consume_cycles(cost);
+    machine_.ktau().hidden_pairs(cpu.clock, meas::Group::Net,
+                                 cfg_.tcp_inner_probes);
+    machine_.kprobe_exit(cpu, ev_tcp_v4_rcv_);
+    machine_.katomic(cpu, ev_net_rx_bytes_, static_cast<double>(p.bytes));
+
+    sock.rx_available += p.bytes;
+    sock.bytes_received += p.bytes;
+    ++sock.segments_received;
+    ++rx_segments_;
+
+    if (sock.waiter != nullptr && sock.rx_available >= sock.wanted) {
+      Task* w = sock.waiter;
+      sock.waiter = nullptr;
+      if (w->state == kernel::TaskState::Blocked) {
+        machine_.wake(*w, cpu.clock.cursor);
+      } else {
+        machine_.poke_spinner(*w, cpu.clock.cursor);
+      }
+    }
+  }
+  machine_.kprobe_exit(cpu, ev_net_rx_action_);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+Fabric::Fabric(kernel::Cluster& cluster, NetConfig cfg)
+    : cluster_(cluster), cfg_(cfg), rng_(cfg.seed) {
+  stacks_.reserve(cluster.size());
+  for (kernel::NodeId n = 0; n < cluster.size(); ++n) {
+    stacks_.push_back(
+        std::make_unique<NodeStack>(*this, cluster.machine(n), cfg_));
+  }
+}
+
+Fabric::Connection Fabric::connect(kernel::NodeId a, kernel::NodeId b) {
+  NodeStack& sa = stack(a);
+  NodeStack& sb = stack(b);
+  const int fa = sa.alloc_socket();
+  const int fb = sb.alloc_socket();
+  sa.socket(fa).peer_node = b;
+  sa.socket(fa).peer_fd = fb;
+  sb.socket(fb).peer_node = a;
+  sb.socket(fb).peer_fd = fa;
+  return Connection{fa, fb};
+}
+
+}  // namespace ktau::knet

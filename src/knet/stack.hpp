@@ -1,0 +1,163 @@
+// Simulated network: per-node TCP stack + cluster fabric.
+//
+// Data path (remote):
+//   sender:  sys_writev -> sock_sendmsg -> tcp_sendmsg per segment
+//            -> NIC egress FIFO (serialization, shared per node)
+//            -> link latency (+ jitter) -> delivery event at receiver
+//   receiver: NIC rx ring -> hard IRQ (routed by the node's IRQ policy)
+//            -> NET_RX softirq -> net_rx_action -> tcp_v4_rcv per segment
+//            -> socket receive queue -> wake blocked reader.
+//
+// Data path (loopback, two ranks on one node): tcp_sendmsg feeds the local
+// CPU's softirq backlog directly; the NET_RX softirq then runs when the
+// send syscall's kernel path ends — which is why kernel receive activity
+// appears *inside* MPI_Send in merged traces (paper Figure 2-E).
+//
+// Every kernel routine on these paths is a KTAU instrumentation point, and
+// tcp_v4_rcv pays a cache penalty when it runs on a different CPU than the
+// consuming task last ran on (the SMP effect behind Figure 10).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernel/machine.hpp"
+#include "kernel/types.hpp"
+#include "knet/config.hpp"
+#include "sim/rng.hpp"
+
+namespace ktau::knet {
+
+/// A TCP segment in flight or queued.
+struct Packet {
+  int dst_fd = -1;
+  std::uint32_t bytes = 0;
+};
+
+/// One endpoint of a connected stream socket.
+struct Socket {
+  kernel::NodeId peer_node = 0;
+  int peer_fd = -1;
+  /// Bytes received and not yet consumed by reads.
+  std::uint64_t rx_available = 0;
+  /// Blocked reader (at most one) and the bytes it needs.
+  kernel::Task* waiter = nullptr;
+  std::uint64_t wanted = 0;
+  /// The task that consumes this socket (sticky; set on first read).  Used
+  /// by the receive path's cache-penalty check.
+  kernel::Task* owner = nullptr;
+  // -- statistics --
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t segments_received = 0;
+};
+
+class Fabric;
+
+/// Per-node network stack; implements the kernel's NetStack interface and
+/// installs itself on the machine.
+class NodeStack final : public kernel::NetStack {
+ public:
+  NodeStack(Fabric& fabric, kernel::Machine& machine, const NetConfig& cfg);
+
+  NodeStack(const NodeStack&) = delete;
+  NodeStack& operator=(const NodeStack&) = delete;
+
+  kernel::Machine& machine() { return machine_; }
+
+  // -- NetStack (syscall bodies, run on the caller's CPU) --------------------
+
+  kernel::SyscallStatus sys_send(kernel::Cpu& cpu, kernel::Task& t,
+                                 const kernel::SendMsg& m) override;
+  kernel::SyscallStatus sys_recv(kernel::Cpu& cpu, kernel::Task& t,
+                                 const kernel::RecvMsg& m,
+                                 bool allow_block) override;
+
+  // -- receive side ------------------------------------------------------------
+
+  /// Called by the fabric when a segment arrives at this node's NIC.
+  void deliver(const Packet& p);
+
+  const Socket& socket(int fd) const { return *sockets_.at(fd); }
+  Socket& socket(int fd) { return *sockets_.at(fd); }
+  std::size_t socket_count() const { return sockets_.size(); }
+
+  /// Total segments processed by tcp_v4_rcv on this node.
+  std::uint64_t rx_segments() const { return rx_segments_; }
+  /// Of those, how many paid the cross-CPU cache penalty.
+  std::uint64_t rx_penalized() const { return rx_penalized_; }
+
+ private:
+  friend class Fabric;
+
+  int alloc_socket();
+  void nic_irq(kernel::Cpu& cpu);
+  void net_rx_softirq(kernel::Cpu& cpu);
+  /// Finishes (or re-blocks) a read that blocked waiting for data.
+  kernel::SyscallStatus finish_recv(kernel::Cpu& cpu, kernel::Task& t, int fd,
+                                    std::uint64_t bytes);
+  std::uint64_t copy_cycles(std::uint64_t bytes) const;
+
+  Fabric& fabric_;
+  kernel::Machine& machine_;
+  const NetConfig& cfg_;
+
+  std::vector<std::unique_ptr<Socket>> sockets_;
+
+  /// Segments landed in the rx ring, not yet pulled off by the IRQ handler.
+  std::deque<Packet> rx_ring_;
+  /// Per-CPU softirq backlogs (netif_rx queues).
+  std::vector<std::deque<Packet>> backlog_;
+
+  /// NIC egress serialization: time the NIC becomes free again.
+  sim::TimeNs nic_free_at_ = 0;
+
+  // instrumentation points
+  meas::EventId ev_sys_writev_;
+  meas::EventId ev_sys_read_;
+  meas::EventId ev_sock_sendmsg_;
+  meas::EventId ev_sock_recvmsg_;
+  meas::EventId ev_tcp_sendmsg_;
+  meas::EventId ev_tcp_v4_rcv_;
+  meas::EventId ev_net_rx_action_;
+  meas::EventId ev_eth_irq_;
+  meas::EventId ev_net_rx_bytes_;
+  meas::EventId ev_net_tx_bytes_;
+  kernel::Machine::IrqLine irq_line_ = 0;
+
+  std::uint64_t rx_segments_ = 0;
+  std::uint64_t rx_penalized_ = 0;
+};
+
+/// Cluster-wide wiring: owns the per-node stacks and the links.
+class Fabric {
+ public:
+  /// Builds a stack for every machine currently in the cluster.
+  Fabric(kernel::Cluster& cluster, NetConfig cfg = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Connects node `a` and node `b` with a full-duplex stream; returns the
+  /// socket fds {fd on a, fd on b}.  a == b creates a loopback pair.
+  struct Connection {
+    int fd_a;
+    int fd_b;
+  };
+  Connection connect(kernel::NodeId a, kernel::NodeId b);
+
+  NodeStack& stack(kernel::NodeId n) { return *stacks_.at(n); }
+  const NetConfig& config() const { return cfg_; }
+  sim::Rng& rng() { return rng_; }
+  kernel::Cluster& cluster() { return cluster_; }
+
+ private:
+  kernel::Cluster& cluster_;
+  NetConfig cfg_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<NodeStack>> stacks_;
+};
+
+}  // namespace ktau::knet

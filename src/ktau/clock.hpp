@@ -1,0 +1,32 @@
+// Per-CPU execution clock shared between the simulated kernel and KTAU.
+//
+// The simulated kernel executes each kernel code path in "immediate mode":
+// the path's logic runs at one engine event, while a cursor tracks how far
+// simulated time has progressed inside the path (instruction costs, copies,
+// and — crucially — KTAU's own measurement overhead).  KTAU reads timestamps
+// from and charges overhead to this cursor, which is how instrumentation
+// perturbation becomes visible to the simulated system (paper §5.3).
+//
+// now_cycles() is the analogue of reading the TSC / Time Base (paper §4.1).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace ktau::meas {
+
+struct CpuClock {
+  sim::FreqHz freq = 450'000'000;  // Chiba-City: 450 MHz Pentium III
+  sim::TimeNs cursor = 0;          // committed execution position of this CPU
+
+  /// Simulated cycle counter value at the cursor.
+  sim::Cycles now_cycles() const { return sim::ns_to_cycles(cursor, freq); }
+
+  /// Advances the cursor by a cycle cost (used for instrumentation overhead
+  /// and cycle-denominated path costs).
+  void consume_cycles(sim::Cycles c) { cursor += sim::cycles_to_ns(c, freq); }
+
+  /// Advances the cursor by a wall-time cost.
+  void consume_ns(sim::TimeNs t) { cursor += t; }
+};
+
+}  // namespace ktau::meas

@@ -1,0 +1,108 @@
+#include "ktau/events.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace ktau::meas {
+
+namespace {
+
+constexpr std::array<Group, 8> kAllGroupValues = {
+    Group::Sched,     Group::Irq,    Group::BottomHalf, Group::Syscall,
+    Group::Net,       Group::Exception, Group::Signal,  Group::User,
+};
+
+std::string lower_trim(std::string_view in) {
+  std::string out;
+  for (const char c : in) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      out.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view group_name(Group g) {
+  switch (g) {
+    case Group::Sched:
+      return "sched";
+    case Group::Irq:
+      return "irq";
+    case Group::BottomHalf:
+      return "bh";
+    case Group::Syscall:
+      return "syscall";
+    case Group::Net:
+      return "net";
+    case Group::Exception:
+      return "exception";
+    case Group::Signal:
+      return "signal";
+    case Group::User:
+      return "user";
+  }
+  return "unknown";
+}
+
+GroupMask parse_groups(std::string_view spec) {
+  const std::string clean = lower_trim(spec);
+  if (clean.empty() || clean == "none") return kNoGroups;
+  if (clean == "all") return kAllGroups;
+  GroupMask mask = kNoGroups;
+  std::size_t pos = 0;
+  while (pos <= clean.size()) {
+    const std::size_t comma = clean.find(',', pos);
+    const std::string token = clean.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!token.empty()) {
+      bool found = false;
+      for (const Group g : kAllGroupValues) {
+        if (token == group_name(g)) {
+          mask |= mask_of(g);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw std::invalid_argument("parse_groups: unknown group '" + token +
+                                    "'");
+      }
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return mask;
+}
+
+std::string format_groups(GroupMask mask) {
+  if (mask == kNoGroups) return "none";
+  if (mask == kAllGroups) return "all";
+  std::string out;
+  for (const Group g : kAllGroupValues) {
+    if (contains(mask, g)) {
+      if (!out.empty()) out.push_back(',');
+      out += std::string(group_name(g));
+    }
+  }
+  return out;
+}
+
+EventId EventRegistry::map(std::string_view name, Group group) {
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  const auto id = static_cast<EventId>(events_.size());
+  events_.push_back(EventInfo{std::string(name), group});
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+EventId EventRegistry::find(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kNoEventId : it->second;
+}
+
+}  // namespace ktau::meas

@@ -1,0 +1,101 @@
+// KTAU event model: instrumentation groups and the event-mapping registry.
+//
+// The paper (§4.1) describes three instrumentation macro types — entry/exit,
+// atomic, and *event mapping*.  Event mapping assigns each instrumentation
+// point a unique identity on its first invocation by handing out the current
+// value of a global mapping index; the id then indexes per-process tables of
+// measured data.  EventRegistry reproduces exactly that mechanism: map() is
+// idempotent per name and hands out densely increasing ids.
+//
+// Instrumentation points are grouped by kernel subsystem / context (paper
+// §4.1: scheduling, networking, system calls, interrupts, bottom-half
+// handling, ...).  Groups are the unit of compile-time, boot-time and
+// run-time measurement control.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ktau::meas {
+
+/// Dense event identifier handed out by the global mapping index.
+using EventId = std::uint32_t;
+
+/// Sentinel for "no event".
+inline constexpr EventId kNoEventId = 0xFFFFFFFFu;
+
+/// Instrumentation point groups (bitmask).  Mirrors KTAU's kernel
+/// configuration groups plus a User group for TAU-side (user-level) events
+/// that flow through the same registries in merged views.
+enum class Group : std::uint32_t {
+  Sched = 1u << 0,       // schedule(), schedule_vol(), load balancing
+  Irq = 1u << 1,         // hard interrupt handlers, do_IRQ
+  BottomHalf = 1u << 2,  // softirq / bottom-half handling
+  Syscall = 1u << 3,     // system call entry points
+  Net = 1u << 4,         // TCP/IP stack routines
+  Exception = 1u << 5,   // faults / exceptions
+  Signal = 1u << 6,      // signal delivery
+  User = 1u << 7,        // user-level (TAU) events in merged views
+};
+
+using GroupMask = std::uint32_t;
+
+inline constexpr GroupMask kAllGroups = 0xFFFFFFFFu;
+inline constexpr GroupMask kNoGroups = 0;
+
+constexpr GroupMask mask_of(Group g) { return static_cast<GroupMask>(g); }
+constexpr GroupMask operator|(Group a, Group b) {
+  return mask_of(a) | mask_of(b);
+}
+constexpr bool contains(GroupMask m, Group g) {
+  return (m & mask_of(g)) != 0;
+}
+
+/// Human-readable group name ("sched", "irq", ...).
+std::string_view group_name(Group g);
+
+/// Parses a boot-option style group list ("sched,net,irq"; "all"; "none";
+/// case-insensitive, spaces tolerated) into a mask — the analogue of the
+/// paper's boot-time kernel options that enable/disable instrumentation
+/// groups.  Throws std::invalid_argument on unknown names.
+GroupMask parse_groups(std::string_view spec);
+
+/// Renders a mask back into the same textual form ("sched,net").
+std::string format_groups(GroupMask mask);
+
+/// Static information about one instrumentation point.
+struct EventInfo {
+  std::string name;  // e.g. "schedule", "tcp_v4_rcv", "sys_read"
+  Group group = Group::Sched;
+};
+
+/// The global event mapping index (paper §4.1, "event mapping" macro).
+///
+/// One registry exists per kernel instance.  map() binds a name to an id on
+/// first invocation and returns the existing id afterwards, mimicking the
+/// static-instrumentation-ID-variable mechanism of the kernel macros.
+class EventRegistry {
+ public:
+  /// Returns the id for `name`, allocating the next mapping index if this is
+  /// the first invocation of the instrumentation point.
+  EventId map(std::string_view name, Group group);
+
+  /// Looks up an event by name without creating it.  Returns kNoEventId if
+  /// the instrumentation point has never fired.
+  EventId find(std::string_view name) const;
+
+  /// Metadata for an allocated id.  Throws std::out_of_range for bad ids.
+  const EventInfo& info(EventId id) const { return events_.at(id); }
+
+  /// Number of allocated ids (== the global mapping index value).
+  std::size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<EventInfo> events_;
+  std::unordered_map<std::string, EventId> by_name_;
+};
+
+}  // namespace ktau::meas

@@ -1,0 +1,89 @@
+#include "ktau/procfs.hpp"
+
+#include <utility>
+
+namespace ktau::meas {
+
+ProcKtau::ProcKtau(KtauSystem& sys, TaskTable& tasks, sim::FreqHz cpu_freq,
+                   std::function<sim::TimeNs()> now)
+    : sys_(sys), tasks_(tasks), cpu_freq_(cpu_freq), now_(std::move(now)) {}
+
+std::vector<TaskSnapshotInput> ProcKtau::select(Scope scope,
+                                                std::span<const Pid> pids,
+                                                bool include_reaped) const {
+  std::vector<TaskSnapshotInput> selected;
+  switch (scope) {
+    case Scope::All:
+      selected = tasks_.live_tasks();
+      if (include_reaped) {
+        for (const ReapedTask& r : sys_.reaped()) {
+          selected.push_back(TaskSnapshotInput{r.pid, &r.name, &r.profile});
+        }
+      }
+      break;
+    case Scope::Self:
+    case Scope::Other:
+      for (const Pid pid : pids) {
+        if (auto view = tasks_.find_task(pid)) selected.push_back(*view);
+      }
+      break;
+  }
+  return selected;
+}
+
+std::size_t ProcKtau::profile_size(Scope scope,
+                                   std::span<const Pid> pids) const {
+  // Session-less by design: computing the size means doing the
+  // serialization and reporting its length; nothing is cached.
+  const auto selected = select(scope, pids, /*include_reaped=*/scope == Scope::All);
+  return encode_profile(sys_.registry(), now_(), cpu_freq_, selected).size();
+}
+
+bool ProcKtau::profile_read(Scope scope, std::span<const Pid> pids,
+                            std::size_t capacity,
+                            std::vector<std::byte>& out) const {
+  out.clear();
+  const auto selected = select(scope, pids, /*include_reaped=*/scope == Scope::All);
+  auto bytes = encode_profile(sys_.registry(), now_(), cpu_freq_, selected);
+  if (bytes.size() > capacity) return false;  // grew since the size call
+  out = std::move(bytes);
+  return true;
+}
+
+std::vector<std::byte> ProcKtau::trace_read(Scope scope,
+                                            std::span<const Pid> pids) {
+  const auto selected = select(scope, pids, /*include_reaped=*/false);
+  std::vector<TaskTraceInput> inputs;
+  // Drained record storage must outlive encode_trace.
+  std::vector<std::vector<TraceRecord>> storage;
+  std::vector<std::uint64_t> dropped;
+  storage.reserve(selected.size());
+  inputs.reserve(selected.size());
+  for (const TaskSnapshotInput& view : selected) {
+    TaskProfile* prof = tasks_.find_profile(view.pid);
+    if (prof == nullptr || prof->trace() == nullptr) continue;
+    storage.emplace_back();
+    dropped.push_back(prof->trace()->drain(storage.back()));
+    inputs.push_back(TaskTraceInput{view.pid, view.name, dropped.back(),
+                                    &storage.back()});
+  }
+  return encode_trace(sys_.registry(), now_(), cpu_freq_, inputs);
+}
+
+OverheadReport ProcKtau::ctl_overhead() const {
+  OverheadReport rep;
+  const sim::OnlineStats& start = sys_.start_overhead();
+  const sim::OnlineStats& stop = sys_.stop_overhead();
+  rep.start_count = start.count();
+  rep.start_mean = start.mean();
+  rep.start_stddev = start.stddev();
+  rep.start_min = start.min();
+  rep.stop_count = stop.count();
+  rep.stop_mean = stop.mean();
+  rep.stop_stddev = stop.stddev();
+  rep.stop_min = stop.min();
+  rep.total_cycles = sys_.total_overhead_cycles();
+  return rep;
+}
+
+}  // namespace ktau::meas

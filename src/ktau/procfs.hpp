@@ -1,0 +1,114 @@
+// The simulated /proc/ktau interface (paper §4.3).
+//
+// KTAU exposes two proc entries, `profile` and `trace`, that user-space
+// clients access through libKtau.  The interface is deliberately
+// *session-less*: a profile read requires one call to determine the size
+// and a second call to retrieve the data, and the kernel keeps no state
+// between the two calls — the size may legitimately change in between, and
+// clients must cope (the paper motivates this as robustness against
+// misbehaving clients and resource leaks).
+//
+// ProcKtau reproduces that protocol: `profile_size()` reports the size a
+// serialization would have right now; `profile_read()` re-serializes at
+// call time and fails (returns false) if the result no longer fits the
+// caller's buffer capacity, forcing the size/read retry loop that libKtau
+// implements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ktau/snapshot.hpp"
+#include "ktau/system.hpp"
+
+namespace ktau::meas {
+
+/// Scope selector for data retrieval, mirroring libKtau's access modes:
+/// a process reading its own data (self), a daemon reading named pids
+/// (other), or a daemon reading every process in the system (all).
+enum class Scope {
+  Self,   // the calling process only
+  Other,  // an explicit pid set
+  All,    // every live process (plus reaped ones for profile reads)
+};
+
+/// Kernel-side directory of live tasks; implemented by the simulated kernel
+/// so the proc interface can walk the task list (Figure 1: "task list").
+class TaskTable {
+ public:
+  virtual ~TaskTable() = default;
+
+  /// Snapshot views of all live tasks, in pid order.
+  virtual std::vector<TaskSnapshotInput> live_tasks() const = 0;
+
+  /// Mutable profile access for trace draining.  Null if pid unknown.
+  virtual TaskProfile* find_profile(Pid pid) = 0;
+
+  /// View for one pid.  std::nullopt if unknown.
+  virtual std::optional<TaskSnapshotInput> find_task(Pid pid) const = 0;
+};
+
+/// Aggregate overhead numbers reported by the control channel (the paper's
+/// "internal KTAU timing/overhead query utilities", §4.5, and Table 4).
+struct OverheadReport {
+  std::uint64_t start_count = 0;
+  double start_mean = 0, start_stddev = 0, start_min = 0;
+  std::uint64_t stop_count = 0;
+  double stop_mean = 0, stop_stddev = 0, stop_min = 0;
+  sim::Cycles total_cycles = 0;
+};
+
+class ProcKtau {
+ public:
+  /// `now` supplies the kernel's current time for snapshot timestamps.
+  ProcKtau(KtauSystem& sys, TaskTable& tasks, sim::FreqHz cpu_freq,
+           std::function<sim::TimeNs()> now);
+
+  // -- /proc/ktau/profile ---------------------------------------------------
+
+  /// First call of the two-call protocol: size (bytes) that a profile read
+  /// with this scope would produce *right now*.
+  std::size_t profile_size(Scope scope, std::span<const Pid> pids = {}) const;
+
+  /// Second call: serializes current data.  Returns true and fills `out`
+  /// when the serialization fits in `capacity` bytes; returns false (and
+  /// leaves `out` empty) when the data has grown past `capacity`, in which
+  /// case the client must re-query the size.
+  bool profile_read(Scope scope, std::span<const Pid> pids,
+                    std::size_t capacity, std::vector<std::byte>& out) const;
+
+  // -- /proc/ktau/trace -----------------------------------------------------
+
+  /// Drains trace buffers for the scope and serializes the result.  This is
+  /// a destructive read (ring buffers are emptied), as with the real trace
+  /// entry read by ktaud.
+  std::vector<std::byte> trace_read(Scope scope, std::span<const Pid> pids = {});
+
+  // -- control (ioctl-style) -------------------------------------------------
+
+  /// Runtime instrumentation control (paper §3: "dynamic measurement
+  /// control to enable/disable kernel-level events at runtime").
+  void ctl_set_groups(GroupMask mask) { sys_.set_runtime_groups(mask); }
+  GroupMask ctl_get_groups() const { return sys_.runtime_groups(); }
+
+  /// Direct-overhead query (Table 4).
+  OverheadReport ctl_overhead() const;
+
+ private:
+  /// Resolves the scope to the set of tasks to serialize.  Profile reads
+  /// with Scope::All also include reaped (exited) tasks so system-wide
+  /// views cover short-lived processes.
+  std::vector<TaskSnapshotInput> select(Scope scope, std::span<const Pid> pids,
+                                        bool include_reaped) const;
+
+  KtauSystem& sys_;
+  TaskTable& tasks_;
+  sim::FreqHz cpu_freq_;
+  std::function<sim::TimeNs()> now_;
+};
+
+}  // namespace ktau::meas

@@ -1,0 +1,95 @@
+#include "ktau/profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ktau::meas {
+
+void AtomicMetrics::add(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += v;
+}
+
+void AtomicMetrics::merge(const AtomicMetrics& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    *this = o;
+    return;
+  }
+  count += o.count;
+  sum += o.sum;
+  min = std::min(min, o.min);
+  max = std::max(max, o.max);
+}
+
+EventMetrics& TaskProfile::slot(EventId ev) {
+  if (ev >= events_.size()) events_.resize(ev + 1);
+  return events_[ev];
+}
+
+void TaskProfile::entry(EventId ev, sim::Cycles now) {
+  stack_.push_back(Frame{ev, now, 0});
+}
+
+sim::Cycles TaskProfile::exit(EventId ev, sim::Cycles now) {
+  if (stack_.empty() || stack_.back().ev != ev) {
+    throw std::logic_error(
+        "TaskProfile::exit: unbalanced instrumentation (exit without "
+        "matching entry)");
+  }
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (now < frame.start) {
+    throw std::logic_error("TaskProfile::exit: time went backwards");
+  }
+  const sim::Cycles incl = now - frame.start;
+  const sim::Cycles excl = incl >= frame.child ? incl - frame.child : 0;
+  EventMetrics& m = slot(ev);
+  ++m.count;
+  m.incl += incl;
+  m.excl += excl;
+  if (!stack_.empty()) stack_.back().child += incl;
+  if (callpath_) {
+    const EventId parent = stack_.empty() ? kCallpathRoot : stack_.back().ev;
+    EventMetrics& e = edges_[bridge_key(parent, ev)];
+    ++e.count;
+    e.incl += incl;
+    e.excl += excl;
+  }
+  if (user_context_ != kNoEventId) {
+    EventMetrics& b = bridge_[bridge_key(user_context_, ev)];
+    ++b.count;
+    b.incl += incl;
+    b.excl += excl;
+  }
+  return incl;
+}
+
+void TaskProfile::atomic(EventId ev, double value) { atomics_[ev].add(value); }
+
+const EventMetrics& TaskProfile::metrics(EventId ev) const {
+  static const EventMetrics kEmpty;
+  if (ev >= events_.size()) return kEmpty;
+  return events_[ev];
+}
+
+void TaskProfile::merge(const TaskProfile& other) {
+  if (other.events_.size() > events_.size()) {
+    events_.resize(other.events_.size());
+  }
+  for (std::size_t i = 0; i < other.events_.size(); ++i) {
+    events_[i].merge(other.events_[i]);
+  }
+  for (const auto& [ev, am] : other.atomics_) atomics_[ev].merge(am);
+  for (const auto& [key, m] : other.bridge_) bridge_[key].merge(m);
+  for (const auto& [key, m] : other.edges_) edges_[key].merge(m);
+  callpath_ = callpath_ || other.callpath_;
+}
+
+}  // namespace ktau::meas

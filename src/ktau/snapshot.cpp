@@ -1,0 +1,303 @@
+#include "ktau/snapshot.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ktau::meas {
+namespace {
+
+constexpr std::uint32_t kProfileMagic = 0x4B544155;  // "KTAU"
+constexpr std::uint32_t kTraceMagic = 0x4B545243;    // "KTRC"
+constexpr std::uint32_t kVersion = 2;  // v2 added call-path edge rows
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void f64(double v) { raw(&v, 8); }
+  void str(std::string_view s) {
+    if (s.size() > 0xFFFF) throw std::length_error("snapshot string too long");
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  std::vector<std::byte> take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+  std::vector<std::byte> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::byte>& buf) : buf_(buf) {}
+
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  double f64() { return read<double>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  bool done() const { return pos_ == buf_.size(); }
+
+ private:
+  template <typename T>
+  T read() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) {
+    if (pos_ + n > buf_.size()) {
+      throw std::runtime_error("KTAU snapshot: truncated data");
+    }
+  }
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_ = 0;
+};
+
+void encode_event_table(ByteWriter& w, const EventRegistry& registry) {
+  w.u32(static_cast<std::uint32_t>(registry.size()));
+  for (EventId id = 0; id < registry.size(); ++id) {
+    const EventInfo& info = registry.info(id);
+    w.u32(id);
+    w.u32(mask_of(info.group));
+    w.str(info.name);
+  }
+}
+
+std::vector<EventDesc> decode_event_table(ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<EventDesc> events;
+  events.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EventDesc d;
+    d.id = r.u32();
+    d.group = static_cast<Group>(r.u32());
+    d.name = r.str();
+    events.push_back(std::move(d));
+  }
+  return events;
+}
+
+}  // namespace
+
+std::string_view ProfileSnapshot::event_name(EventId id) const {
+  for (const auto& e : events) {
+    if (e.id == id) return e.name;
+  }
+  return {};
+}
+
+Group ProfileSnapshot::event_group(EventId id) const {
+  for (const auto& e : events) {
+    if (e.id == id) return e.group;
+  }
+  return Group::Sched;
+}
+
+std::string_view TraceSnapshot::event_name(EventId id) const {
+  for (const auto& e : events) {
+    if (e.id == id) return e.name;
+  }
+  return {};
+}
+
+std::vector<std::byte> encode_profile(
+    const EventRegistry& registry, sim::TimeNs timestamp, sim::FreqHz cpu_freq,
+    const std::vector<TaskSnapshotInput>& tasks) {
+  ByteWriter w;
+  w.u32(kProfileMagic);
+  w.u32(kVersion);
+  w.u64(timestamp);
+  w.u64(cpu_freq);
+  encode_event_table(w, registry);
+  w.u32(static_cast<std::uint32_t>(tasks.size()));
+  for (const TaskSnapshotInput& t : tasks) {
+    w.u32(t.pid);
+    w.str(t.name != nullptr ? *t.name : std::string_view{});
+    const TaskProfile& prof = *t.profile;
+
+    // Only emit rows with activity; ids are sparse per process.
+    std::uint32_t live = 0;
+    for (const auto& m : prof.all_metrics()) {
+      if (m.count != 0) ++live;
+    }
+    w.u32(live);
+    for (EventId id = 0; id < prof.all_metrics().size(); ++id) {
+      const EventMetrics& m = prof.all_metrics()[id];
+      if (m.count == 0) continue;
+      w.u32(id);
+      w.u64(m.count);
+      w.u64(m.incl);
+      w.u64(m.excl);
+    }
+
+    w.u32(static_cast<std::uint32_t>(prof.atomics().size()));
+    for (const auto& [id, am] : prof.atomics()) {
+      w.u32(id);
+      w.u64(am.count);
+      w.f64(am.sum);
+      w.f64(am.min);
+      w.f64(am.max);
+    }
+
+    w.u32(static_cast<std::uint32_t>(prof.bridge().size()));
+    for (const auto& [key, m] : prof.bridge()) {
+      w.u64(key);
+      w.u64(m.count);
+      w.u64(m.incl);
+      w.u64(m.excl);
+    }
+
+    w.u32(static_cast<std::uint32_t>(prof.edges().size()));
+    for (const auto& [key, m] : prof.edges()) {
+      w.u64(key);
+      w.u64(m.count);
+      w.u64(m.incl);
+      w.u64(m.excl);
+    }
+  }
+  return w.take();
+}
+
+ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kProfileMagic) {
+    throw std::runtime_error("KTAU profile snapshot: bad magic");
+  }
+  if (r.u32() != kVersion) {
+    throw std::runtime_error("KTAU profile snapshot: unsupported version");
+  }
+  ProfileSnapshot snap;
+  snap.timestamp = r.u64();
+  snap.cpu_freq = r.u64();
+  snap.events = decode_event_table(r);
+  const std::uint32_t ntasks = r.u32();
+  snap.tasks.reserve(ntasks);
+  for (std::uint32_t i = 0; i < ntasks; ++i) {
+    TaskProfileData t;
+    t.pid = r.u32();
+    t.name = r.str();
+    const std::uint32_t nev = r.u32();
+    t.events.reserve(nev);
+    for (std::uint32_t j = 0; j < nev; ++j) {
+      EventEntry e;
+      e.id = r.u32();
+      e.count = r.u64();
+      e.incl = r.u64();
+      e.excl = r.u64();
+      t.events.push_back(e);
+    }
+    const std::uint32_t nat = r.u32();
+    t.atomics.reserve(nat);
+    for (std::uint32_t j = 0; j < nat; ++j) {
+      AtomicEntry a;
+      a.id = r.u32();
+      a.count = r.u64();
+      a.sum = r.f64();
+      a.min = r.f64();
+      a.max = r.f64();
+      t.atomics.push_back(a);
+    }
+    const std::uint32_t nbr = r.u32();
+    t.bridge.reserve(nbr);
+    for (std::uint32_t j = 0; j < nbr; ++j) {
+      BridgeEntry b;
+      const std::uint64_t key = r.u64();
+      b.user_event = static_cast<EventId>(key >> 32);
+      b.kernel_event = static_cast<EventId>(key & 0xFFFFFFFFu);
+      b.count = r.u64();
+      b.incl = r.u64();
+      b.excl = r.u64();
+      t.bridge.push_back(b);
+    }
+    const std::uint32_t ncp = r.u32();
+    t.edges.reserve(ncp);
+    for (std::uint32_t j = 0; j < ncp; ++j) {
+      EdgeEntry e;
+      const std::uint64_t key = r.u64();
+      e.parent = static_cast<EventId>(key >> 32);
+      e.child = static_cast<EventId>(key & 0xFFFFFFFFu);
+      e.count = r.u64();
+      e.incl = r.u64();
+      e.excl = r.u64();
+      t.edges.push_back(e);
+    }
+    snap.tasks.push_back(std::move(t));
+  }
+  return snap;
+}
+
+std::vector<std::byte> encode_trace(const EventRegistry& registry,
+                                    sim::TimeNs timestamp, sim::FreqHz cpu_freq,
+                                    const std::vector<TaskTraceInput>& tasks) {
+  ByteWriter w;
+  w.u32(kTraceMagic);
+  w.u32(kVersion);
+  w.u64(timestamp);
+  w.u64(cpu_freq);
+  encode_event_table(w, registry);
+  w.u32(static_cast<std::uint32_t>(tasks.size()));
+  for (const TaskTraceInput& t : tasks) {
+    w.u32(t.pid);
+    w.str(t.name != nullptr ? *t.name : std::string_view{});
+    w.u64(t.dropped);
+    const auto& recs = *t.records;
+    w.u32(static_cast<std::uint32_t>(recs.size()));
+    for (const TraceRecord& rec : recs) {
+      w.u64(rec.timestamp);
+      w.u32(rec.event);
+      w.u8(static_cast<std::uint8_t>(rec.type));
+      w.u64(rec.value);
+    }
+  }
+  return w.take();
+}
+
+TraceSnapshot decode_trace(const std::vector<std::byte>& bytes) {
+  ByteReader r(bytes);
+  if (r.u32() != kTraceMagic) {
+    throw std::runtime_error("KTAU trace snapshot: bad magic");
+  }
+  if (r.u32() != kVersion) {
+    throw std::runtime_error("KTAU trace snapshot: unsupported version");
+  }
+  TraceSnapshot snap;
+  snap.timestamp = r.u64();
+  snap.cpu_freq = r.u64();
+  snap.events = decode_event_table(r);
+  const std::uint32_t ntasks = r.u32();
+  snap.tasks.reserve(ntasks);
+  for (std::uint32_t i = 0; i < ntasks; ++i) {
+    TaskTraceData t;
+    t.pid = r.u32();
+    t.name = r.str();
+    t.dropped = r.u64();
+    const std::uint32_t nrec = r.u32();
+    t.records.reserve(nrec);
+    for (std::uint32_t j = 0; j < nrec; ++j) {
+      TraceRecord rec;
+      rec.timestamp = r.u64();
+      rec.event = r.u32();
+      rec.type = static_cast<TraceType>(r.u8());
+      rec.value = r.u64();
+      t.records.push_back(rec);
+    }
+    snap.tasks.push_back(std::move(t));
+  }
+  return snap;
+}
+
+}  // namespace ktau::meas

@@ -1,0 +1,145 @@
+// Binary wire format for KTAU performance data.
+//
+// The kernel-side proc interface serializes profile/trace data into this
+// format; user-space (libKtau) parses it back.  Keeping both codec halves in
+// one translation unit is the moral equivalent of the shared kernel/user ABI
+// header the real KTAU patch installs.
+//
+// The format is self-describing: every snapshot carries the event-id -> name
+// table of the originating kernel's event registry, because event-mapping
+// ids are assigned dynamically per kernel (first invocation order) and are
+// NOT stable across nodes.  Cross-node analysis merges by name.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ktau/events.hpp"
+#include "ktau/profile.hpp"
+#include "ktau/system.hpp"
+#include "ktau/trace.hpp"
+#include "sim/time.hpp"
+
+namespace ktau::meas {
+
+/// One event's metadata in a snapshot (decoded registry entry).
+struct EventDesc {
+  EventId id = 0;
+  Group group = Group::Sched;
+  std::string name;
+};
+
+/// Per-event profile row in a snapshot.
+struct EventEntry {
+  EventId id = 0;
+  std::uint64_t count = 0;
+  sim::Cycles incl = 0;
+  sim::Cycles excl = 0;
+};
+
+struct AtomicEntry {
+  EventId id = 0;
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+};
+
+/// (user event, kernel event) bridge row in a snapshot.
+struct BridgeEntry {
+  EventId user_event = 0;
+  EventId kernel_event = 0;
+  std::uint64_t count = 0;
+  sim::Cycles incl = 0;
+  sim::Cycles excl = 0;
+};
+
+/// Call-path (caller -> callee) edge row; parent == kCallpathRoot for
+/// top-level activations.
+struct EdgeEntry {
+  EventId parent = 0;
+  EventId child = 0;
+  std::uint64_t count = 0;
+  sim::Cycles incl = 0;
+  sim::Cycles excl = 0;
+};
+
+/// One process's decoded profile.
+struct TaskProfileData {
+  Pid pid = 0;
+  std::string name;
+  std::vector<EventEntry> events;
+  std::vector<AtomicEntry> atomics;
+  std::vector<BridgeEntry> bridge;
+  std::vector<EdgeEntry> edges;  // call-path rows (empty unless enabled)
+};
+
+/// A full decoded profile snapshot.
+struct ProfileSnapshot {
+  sim::TimeNs timestamp = 0;
+  sim::FreqHz cpu_freq = 0;  // for cycle <-> time conversion in analysis
+  std::vector<EventDesc> events;
+  std::vector<TaskProfileData> tasks;
+
+  /// Name lookup; returns empty string_view for unknown ids.
+  std::string_view event_name(EventId id) const;
+  /// Group lookup; defaults to Sched for unknown ids.
+  Group event_group(EventId id) const;
+};
+
+/// One process's decoded trace.
+struct TaskTraceData {
+  Pid pid = 0;
+  std::string name;
+  std::uint64_t dropped = 0;  // records lost to ring-buffer overwrite
+  std::vector<TraceRecord> records;
+};
+
+struct TraceSnapshot {
+  sim::TimeNs timestamp = 0;
+  sim::FreqHz cpu_freq = 0;
+  std::vector<EventDesc> events;
+  std::vector<TaskTraceData> tasks;
+
+  std::string_view event_name(EventId id) const;
+};
+
+// -- encoding (kernel side) -------------------------------------------------
+
+/// Input view of one task for serialization.
+struct TaskSnapshotInput {
+  Pid pid = 0;
+  const std::string* name = nullptr;
+  const TaskProfile* profile = nullptr;
+};
+
+/// Serializes profiles of `tasks` (plus the registry's event table).
+std::vector<std::byte> encode_profile(const EventRegistry& registry,
+                                      sim::TimeNs timestamp,
+                                      sim::FreqHz cpu_freq,
+                                      const std::vector<TaskSnapshotInput>& tasks);
+
+/// Serializes trace data.  Draining the per-task ring buffers is the
+/// caller's job (it is a destructive read); this just encodes the result.
+struct TaskTraceInput {
+  Pid pid = 0;
+  const std::string* name = nullptr;
+  std::uint64_t dropped = 0;
+  const std::vector<TraceRecord>* records = nullptr;
+};
+
+std::vector<std::byte> encode_trace(const EventRegistry& registry,
+                                    sim::TimeNs timestamp, sim::FreqHz cpu_freq,
+                                    const std::vector<TaskTraceInput>& tasks);
+
+// -- decoding (user side, used by libKtau) ----------------------------------
+
+/// Parses a profile snapshot.  Throws std::runtime_error on malformed input.
+ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes);
+
+/// Parses a trace snapshot.  Throws std::runtime_error on malformed input.
+TraceSnapshot decode_trace(const std::vector<std::byte>& bytes);
+
+}  // namespace ktau::meas

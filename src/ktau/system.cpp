@@ -1,0 +1,115 @@
+#include "ktau/system.hpp"
+
+#include <algorithm>
+
+namespace ktau::meas {
+
+KtauSystem::KtauSystem(const KtauConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {}
+
+double KtauSystem::draw_cost(double min, double mean) {
+  const double p = cfg_.overhead.outlier_prob;
+  const double om = cfg_.overhead.outlier_mean;
+  if (p > 0 && rng_.bernoulli(p)) {
+    return rng_.shifted_exponential(min, om);
+  }
+  // Keep the overall mean at `mean` despite the outlier component.
+  const double base_mean = p > 0 ? (mean - p * om) / (1.0 - p) : mean;
+  return rng_.shifted_exponential(min, std::max(base_mean, min + 1.0));
+}
+
+void KtauSystem::charge(CpuClock& clock, double cycles) {
+  const auto c = static_cast<sim::Cycles>(cycles);
+  total_overhead_ += c;
+  if (cfg_.charge_overhead) clock.consume_cycles(c);
+}
+
+void KtauSystem::entry(CpuClock& clock, TaskProfile* prof, EventId ev) {
+  if (!cfg_.compiled_in) return;
+  const Group g = info(ev).group;
+  if (!contains(effective_mask(), g)) {
+    charge(clock, cfg_.overhead.disabled_check);
+    return;
+  }
+  // Timestamp is read at probe start; the bookkeeping cost that follows is
+  // absorbed by the enclosing (parent) region, as in the real macros.
+  const sim::Cycles now = clock.now_cycles();
+  if (prof != nullptr) {
+    prof->entry(ev, now);
+    if (cfg_.tracing && contains(cfg_.trace_groups, g) &&
+        prof->trace() != nullptr) {
+      prof->trace()->push({clock.cursor, ev, TraceType::Entry, 0});
+      charge(clock, cfg_.overhead.trace_record_cost);
+    }
+  }
+  const double cost =
+      draw_cost(cfg_.overhead.start_min, cfg_.overhead.start_mean);
+  start_overhead_.add(cost);
+  charge(clock, cost);
+}
+
+void KtauSystem::exit(CpuClock& clock, TaskProfile* prof, EventId ev) {
+  if (!cfg_.compiled_in) return;
+  const Group g = info(ev).group;
+  if (!contains(effective_mask(), g)) {
+    charge(clock, cfg_.overhead.disabled_check);
+    return;
+  }
+  const sim::Cycles now = clock.now_cycles();
+  if (prof != nullptr) {
+    prof->exit(ev, now);
+    if (cfg_.tracing && contains(cfg_.trace_groups, g) &&
+        prof->trace() != nullptr) {
+      prof->trace()->push({clock.cursor, ev, TraceType::Exit, 0});
+      charge(clock, cfg_.overhead.trace_record_cost);
+    }
+  }
+  const double cost =
+      draw_cost(cfg_.overhead.stop_min, cfg_.overhead.stop_mean);
+  stop_overhead_.add(cost);
+  charge(clock, cost);
+}
+
+void KtauSystem::atomic(CpuClock& clock, TaskProfile* prof, EventId ev,
+                        double value) {
+  if (!cfg_.compiled_in) return;
+  const Group g = info(ev).group;
+  if (!contains(effective_mask(), g)) {
+    charge(clock, cfg_.overhead.disabled_check);
+    return;
+  }
+  if (prof != nullptr) {
+    prof->atomic(ev, value);
+    if (cfg_.tracing && contains(cfg_.trace_groups, g) &&
+        prof->trace() != nullptr) {
+      prof->trace()->push({clock.cursor, ev, TraceType::Atomic,
+                           static_cast<std::uint64_t>(value)});
+      charge(clock, cfg_.overhead.trace_record_cost);
+    }
+  }
+  charge(clock, cfg_.overhead.atomic_cost);
+}
+
+void KtauSystem::hidden_pairs(CpuClock& clock, Group g, std::uint32_t pairs) {
+  if (!cfg_.compiled_in || pairs == 0) return;
+  if (!contains(effective_mask(), g)) {
+    charge(clock, cfg_.overhead.disabled_check * pairs);
+    return;
+  }
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    const double start =
+        draw_cost(cfg_.overhead.start_min, cfg_.overhead.start_mean);
+    start_overhead_.add(start);
+    charge(clock, start);
+    const double stop =
+        draw_cost(cfg_.overhead.stop_min, cfg_.overhead.stop_mean);
+    stop_overhead_.add(stop);
+    charge(clock, stop);
+  }
+}
+
+void KtauSystem::reap(Pid pid, std::string name, TaskProfile&& profile) {
+  reaped_.push_back(ReapedTask{pid, std::move(name), std::move(profile)});
+}
+
+}  // namespace ktau::meas

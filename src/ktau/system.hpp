@@ -1,0 +1,132 @@
+// The KTAU measurement system (paper §4.2).
+//
+// One KtauSystem runs inside each simulated kernel.  It owns the event
+// registry (global mapping index), the measurement configuration, the
+// overhead model, self-measurement statistics, and the profiles of exited
+// tasks (so kernel-wide views cover the whole life of the system, and
+// per-process views such as Figure 7 include short-lived daemons).
+//
+// Kernel code paths call entry()/exit()/atomic() at instrumentation points.
+// Each call:
+//   1. checks compile-time / boot-time / run-time enablement for the
+//      point's group;
+//   2. reads the simulated cycle counter for the timestamp;
+//   3. updates the process-centric profile of the current process;
+//   4. appends trace records when tracing is on;
+//   5. charges its own direct cost to the CPU's execution cursor, which is
+//      how measurement perturbs the measured system (Tables 3 and 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ktau/clock.hpp"
+#include "ktau/config.hpp"
+#include "ktau/events.hpp"
+#include "ktau/profile.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace ktau::meas {
+
+/// Process identifier as exposed through the proc interface.
+using Pid = std::uint32_t;
+
+/// Profile of a task that has exited, preserved by the measurement system.
+struct ReapedTask {
+  Pid pid = 0;
+  std::string name;
+  TaskProfile profile;
+};
+
+class KtauSystem {
+ public:
+  explicit KtauSystem(const KtauConfig& cfg, std::uint64_t seed = 0xC0FFEE);
+
+  // -- instrumentation probes (called from kernel code paths) -------------
+
+  /// Entry/exit instrumentation (paper §4.1 entry/exit event macro).
+  /// `prof` may be null in contexts with no process (ignored then, but the
+  /// probe cost is still charged — the real macro runs regardless).
+  void entry(CpuClock& clock, TaskProfile* prof, EventId ev);
+  void exit(CpuClock& clock, TaskProfile* prof, EventId ev);
+
+  /// Atomic event instrumentation (stand-alone values, e.g. packet sizes).
+  void atomic(CpuClock& clock, TaskProfile* prof, EventId ev, double value);
+
+  /// Charges the cost of `pairs` additional entry/exit probe pairs of the
+  /// given group without recording separate profile rows.  The simulated
+  /// kernel's code paths are coarse stand-ins for many real instrumented
+  /// functions (a single sys_read transits dozens of KTAU instrumentation
+  /// points in the real patch); hidden pairs make the *perturbation* of
+  /// that instrumentation density visible (Table 3) while keeping the
+  /// event model tractable.  No-ops when the group is disabled.
+  void hidden_pairs(CpuClock& clock, Group g, std::uint32_t pairs);
+
+  /// Registers (or finds) an instrumentation point.  Kernel code paths call
+  /// this once and cache the id, mirroring the static-ID mechanism.
+  EventId map_event(std::string_view name, Group g) {
+    return registry_.map(name, g);
+  }
+
+  // -- configuration / control --------------------------------------------
+
+  bool compiled_in() const { return cfg_.compiled_in; }
+  bool tracing() const { return cfg_.tracing; }
+  std::size_t trace_capacity() const { return cfg_.trace_capacity; }
+
+  /// True when instrumentation for `ev`'s group is live right now.
+  bool enabled(EventId ev) const {
+    return cfg_.compiled_in && contains(effective_mask(), info(ev).group);
+  }
+
+  GroupMask effective_mask() const {
+    return cfg_.boot_enabled & cfg_.runtime_enabled;
+  }
+
+  /// Run-time control (reachable from user space via the procfs control
+  /// channel; see ProcKtau).
+  void set_runtime_groups(GroupMask m) { cfg_.runtime_enabled = m; }
+  GroupMask runtime_groups() const { return cfg_.runtime_enabled; }
+
+  const KtauConfig& config() const { return cfg_; }
+
+  EventRegistry& registry() { return registry_; }
+  const EventRegistry& registry() const { return registry_; }
+  const EventInfo& info(EventId ev) const { return registry_.info(ev); }
+
+  // -- self-measurement (Table 4) ------------------------------------------
+
+  const sim::OnlineStats& start_overhead() const { return start_overhead_; }
+  const sim::OnlineStats& stop_overhead() const { return stop_overhead_; }
+
+  /// Total cycles of measurement overhead injected into the system.
+  sim::Cycles total_overhead_cycles() const { return total_overhead_; }
+
+  // -- exited-task bookkeeping ----------------------------------------------
+
+  /// Called by the kernel when a process dies; preserves its profile for
+  /// kernel-wide and per-node views.
+  void reap(Pid pid, std::string name, TaskProfile&& profile);
+
+  const std::vector<ReapedTask>& reaped() const { return reaped_; }
+
+ private:
+  /// Charges `cycles` of direct measurement cost.
+  void charge(CpuClock& clock, double cycles);
+
+  /// Draws one probe cost from the heavy-tailed mixture (see
+  /// OverheadModel::outlier_prob).
+  double draw_cost(double min, double mean);
+
+  KtauConfig cfg_;
+  EventRegistry registry_;
+  sim::Rng rng_;
+  sim::OnlineStats start_overhead_;
+  sim::OnlineStats stop_overhead_;
+  sim::Cycles total_overhead_ = 0;
+  std::vector<ReapedTask> reaped_;
+};
+
+}  // namespace ktau::meas

@@ -1,0 +1,38 @@
+#include "ktau/trace.hpp"
+
+#include <stdexcept>
+
+namespace ktau::meas {
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceBuffer: capacity must be > 0");
+  }
+}
+
+void TraceBuffer::push(const TraceRecord& rec) {
+  ++pushed_;
+  if (count_ == ring_.size()) {
+    // Full: overwrite the oldest unread record.
+    ring_[head_] = rec;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+    return;
+  }
+  ring_[(head_ + count_) % ring_.size()] = rec;
+  ++count_;
+}
+
+std::uint64_t TraceBuffer::drain(std::vector<TraceRecord>& out) {
+  out.reserve(out.size() + count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  head_ = 0;
+  count_ = 0;
+  const std::uint64_t lost = dropped_;
+  dropped_ = 0;
+  return lost;
+}
+
+}  // namespace ktau::meas

@@ -1,0 +1,58 @@
+// Per-process circular trace buffer (paper §4.2).
+//
+// When tracing is enabled, each process owns a fixed-size circular buffer of
+// trace records.  The buffer is deliberately lossy: "trace data may be lost
+// if the buffer is not read fast enough by user-space applications or
+// daemons".  New records overwrite the oldest unread records; the number of
+// dropped records is tracked so clients (ktaud) can report loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ktau/events.hpp"
+#include "sim/time.hpp"
+
+namespace ktau::meas {
+
+enum class TraceType : std::uint8_t {
+  Entry = 0,
+  Exit = 1,
+  Atomic = 2,
+};
+
+struct TraceRecord {
+  sim::TimeNs timestamp = 0;
+  EventId event = kNoEventId;
+  TraceType type = TraceType::Entry;
+  std::uint64_t value = 0;  // atomic-event payload (e.g. packet size)
+};
+
+class TraceBuffer {
+ public:
+  /// Creates a buffer holding at most `capacity` records.  Capacity 0 is
+  /// rejected (a traced process always has a real buffer).
+  explicit TraceBuffer(std::size_t capacity);
+
+  /// Appends a record, overwriting the oldest unread record when full.
+  void push(const TraceRecord& rec);
+
+  /// Moves all unread records (oldest first) into `out` and clears the
+  /// buffer.  Returns the number of records that were dropped since the
+  /// previous drain (and resets that counter).
+  std::uint64_t drain(std::vector<TraceRecord>& out);
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t unread() const { return count_; }
+  std::uint64_t total_pushed() const { return pushed_; }
+  std::uint64_t dropped_since_drain() const { return dropped_; }
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;   // index of oldest unread record
+  std::size_t count_ = 0;  // number of unread records
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ktau::meas

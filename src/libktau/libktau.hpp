@@ -1,0 +1,78 @@
+// libKtau: the user-space access library (paper §4.4).
+//
+// libKtau shields clients from the kernel-side proc protocol: it implements
+// the session-less two-call (size, then read) sequence with the retry loop
+// the protocol demands (the data may grow between the calls), exposes the
+// self / other / all access modes, performs data conversion between the
+// binary wire format and an ASCII form, offers formatted stream output, and
+// carries the kernel-control operations (runtime group enable/disable,
+// overhead query).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ktau/procfs.hpp"
+#include "ktau/snapshot.hpp"
+
+namespace ktau::user {
+
+/// A user-space handle to one node's /proc/ktau entries.
+class KtauHandle {
+ public:
+  explicit KtauHandle(meas::ProcKtau& proc) : proc_(proc) {}
+
+  // -- data retrieval ---------------------------------------------------------
+
+  /// Reads a profile snapshot for the scope, running the size/read retry
+  /// loop.  Throws std::runtime_error if the data will not stabilise
+  /// (pathological; bounded retries).
+  meas::ProfileSnapshot get_profile(meas::Scope scope,
+                                    std::span<const meas::Pid> pids = {});
+
+  /// Self mode: a process reading its own profile.
+  meas::ProfileSnapshot get_self_profile(meas::Pid self) {
+    const meas::Pid pids[] = {self};
+    return get_profile(meas::Scope::Self, pids);
+  }
+
+  /// Drains and decodes trace buffers (destructive read, as with ktaud).
+  meas::TraceSnapshot get_trace(meas::Scope scope,
+                                std::span<const meas::Pid> pids = {});
+
+  // -- kernel control -----------------------------------------------------------
+
+  void set_groups(meas::GroupMask mask) { proc_.ctl_set_groups(mask); }
+  meas::GroupMask groups() const { return proc_.ctl_get_groups(); }
+  meas::OverheadReport overhead() const { return proc_.ctl_overhead(); }
+
+ private:
+  meas::ProcKtau& proc_;
+};
+
+// -- ASCII conversion (paper: "data conversion (ASCII to/from binary)") ------
+
+/// Renders a decoded profile snapshot as a line-oriented ASCII document.
+std::string profile_to_ascii(const meas::ProfileSnapshot& snap);
+
+/// Parses the ASCII form back into a snapshot.  Throws std::runtime_error
+/// on malformed input.  Round-trips with profile_to_ascii().
+meas::ProfileSnapshot profile_from_ascii(const std::string& text);
+
+// -- formatted stream output ----------------------------------------------------
+
+struct PrintOptions {
+  bool show_atomic = true;
+  bool show_bridge = false;
+  /// Hide events with zero counts and tasks with no activity.
+  bool skip_empty = true;
+};
+
+/// Human-readable profile dump (one block per task, events sorted by
+/// inclusive time).
+void print_profile(std::ostream& os, const meas::ProfileSnapshot& snap,
+                   const PrintOptions& opts = {});
+
+}  // namespace ktau::user

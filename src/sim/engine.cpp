@@ -1,0 +1,67 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ktau::sim {
+
+EventId Engine::schedule_at(TimeNs t, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push_back(Record{std::max(t, now_), id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  if (id == kNoEvent || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+bool Engine::pop_next(Record& out) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Record rec = std::move(heap_.back());
+    heap_.pop_back();
+    const auto it = cancelled_.find(rec.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(rec);
+    return true;
+  }
+  return false;
+}
+
+bool Engine::step() {
+  Record rec;
+  if (!pop_next(rec)) return false;
+  now_ = rec.time;
+  ++executed_;
+  rec.cb();
+  return true;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+void Engine::run_until(TimeNs t) {
+  while (!heap_.empty()) {
+    Record rec;
+    if (!pop_next(rec)) break;
+    if (rec.time > t) {
+      // Put it back; it belongs to the future beyond the horizon.
+      heap_.push_back(std::move(rec));
+      std::push_heap(heap_.begin(), heap_.end(), Later{});
+      break;
+    }
+    now_ = rec.time;
+    ++executed_;
+    rec.cb();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace ktau::sim

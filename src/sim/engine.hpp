@@ -1,0 +1,89 @@
+// Discrete-event simulation engine.
+//
+// A single Engine owns the global simulated timeline.  Everything in the
+// reproduction — CPU execution spans, timer ticks, interrupt deliveries,
+// network packet arrivals, daemon wakeups — is an event scheduled here.
+// Events at equal timestamps execute in scheduling order (FIFO by sequence
+// number), which makes every run fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ktau::sim {
+
+/// Handle identifying a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+/// Sentinel returned/accepted where "no event" is meant.
+inline constexpr EventId kNoEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.  Monotonically non-decreasing.
+  TimeNs now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t`.  `t` must be >= now();
+  /// events in the past are clamped to now() (they run next, after already
+  /// queued same-time events).
+  EventId schedule_at(TimeNs t, Callback cb);
+
+  /// Schedules `cb` to run `dt` after the current time.
+  EventId schedule_after(TimeNs dt, Callback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancels a previously scheduled event.  Cancelling an event that already
+  /// ran, was already cancelled, or is kNoEvent is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs the single earliest pending event.  Returns false if none remain.
+  bool step();
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Runs events with time <= `t`, then sets now() to `t`.
+  void run_until(TimeNs t);
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+
+  /// Total events executed since construction (simulator health metric).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Record {
+    TimeNs time;
+    EventId id;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Record& a, const Record& b) const {
+      // Min-heap on (time, id): id order breaks ties FIFO.
+      return a.time != b.time ? a.time > b.time : a.id > b.id;
+    }
+  };
+
+  /// Pops the earliest live record into `out`; returns false if none.
+  bool pop_next(Record& out);
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::vector<Record> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ktau::sim

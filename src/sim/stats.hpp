@@ -1,0 +1,97 @@
+// Small statistics toolkit used across measurement and analysis layers.
+//
+// - OnlineStats: Welford-style streaming mean/variance/min/max; used by the
+//   KTAU measurement core to track its own direct overhead (Table 4).
+// - Histogram: fixed-bin histogram (Figure 3).
+// - Cdf: empirical cumulative distribution over per-rank values
+//   (Figures 5, 6, 8, 9, 10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ktau::sim {
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (n in the denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction style).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so no sample is dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+ private:
+  double lo_;
+  double hi_;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Empirical CDF over a finite sample set (e.g. one value per MPI rank).
+/// Matches the paper's "% MPI Ranks" vs value plots.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples) { assign(std::move(samples)); }
+
+  void add(double x) { sorted_ = false; samples_.push_back(x); }
+  void assign(std::vector<double> samples);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  /// Fraction of samples <= x, in [0, 1].
+  double fraction_at(double x) const;
+
+  /// Value at quantile q in [0, 1] (nearest-rank).
+  double quantile(double q) const;
+
+  double min() const;
+  double max() const;
+  double median() const { return quantile(0.5); }
+
+  /// The sorted sample vector (ascending).  Useful for plotting the curve as
+  /// (value, (i+1)/n) steps exactly as the paper's gnuplot CDFs do.
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable bool sorted_ = true;
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace ktau::sim

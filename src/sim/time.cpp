@@ -1,0 +1,33 @@
+#include "sim/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace ktau::sim {
+
+std::string format_time(TimeNs t) {
+  std::array<char, 64> buf{};
+  if (t < kMicrosecond) {
+    std::snprintf(buf.data(), buf.size(), "%llu ns",
+                  static_cast<unsigned long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf.data(), buf.size(), "%.3f us",
+                  static_cast<double>(t) / kMicrosecond);
+  } else if (t < kSecond) {
+    std::snprintf(buf.data(), buf.size(), "%.3f ms",
+                  static_cast<double>(t) / kMillisecond);
+  } else {
+    std::snprintf(buf.data(), buf.size(), "%.3f s",
+                  static_cast<double>(t) / kSecond);
+  }
+  return buf.data();
+}
+
+std::string format_seconds(TimeNs t, int precision) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", precision,
+                static_cast<double>(t) / kSecond);
+  return buf.data();
+}
+
+}  // namespace ktau::sim

@@ -1,0 +1,56 @@
+// Simulated time primitives.
+//
+// The whole reproduction runs on a single global simulated timeline measured
+// in nanoseconds.  CPU-local "cycle" readings (the analogue of the Intel TSC
+// / PowerPC Time Base that KTAU samples) are derived from the global
+// nanosecond clock through the owning CPU's frequency.  Keeping one global
+// timeline makes cross-node trace merging (Vampir-style, Figure 2-E of the
+// paper) trivial and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ktau::sim {
+
+/// Simulated wall-clock time in nanoseconds since boot of the simulation.
+using TimeNs = std::uint64_t;
+
+/// CPU cycles (frequency-dependent).  KTAU reports measurement overhead in
+/// cycles (Table 4 of the paper), so cycles are a first-class unit here.
+using Cycles = std::uint64_t;
+
+/// CPU core frequency in Hz.  Chiba-City nodes were 450 MHz Pentium IIIs.
+using FreqHz = std::uint64_t;
+
+inline constexpr TimeNs kMicrosecond = 1'000;
+inline constexpr TimeNs kMillisecond = 1'000'000;
+inline constexpr TimeNs kSecond = 1'000'000'000;
+
+/// Converts a cycle count on a CPU of frequency `freq` to nanoseconds,
+/// rounding to nearest.  Frequencies below 1 MHz are not supported (the
+/// simulator models late-90s-or-newer hardware).
+constexpr TimeNs cycles_to_ns(Cycles c, FreqHz freq) {
+  // c * 1e9 / freq without overflow for realistic ranges: split c into
+  // seconds' worth of cycles and remainder.
+  const Cycles whole = c / freq;
+  const Cycles rem = c % freq;
+  return whole * kSecond + (rem * kSecond + freq / 2) / freq;
+}
+
+/// Converts nanoseconds to cycles on a CPU of frequency `freq`, rounding to
+/// nearest.
+constexpr Cycles ns_to_cycles(TimeNs ns, FreqHz freq) {
+  const TimeNs whole = ns / kSecond;
+  const TimeNs rem = ns % kSecond;
+  return whole * freq + (rem * freq + kSecond / 2) / kSecond;
+}
+
+/// Renders a time as a human-readable string with an adaptive unit,
+/// e.g. "12.345 ms" or "3.2 s".  Used by the ASCII report renderers.
+std::string format_time(TimeNs t);
+
+/// Renders seconds with fixed precision, e.g. "295.60".
+std::string format_seconds(TimeNs t, int precision = 2);
+
+}  // namespace ktau::sim

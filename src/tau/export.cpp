@@ -1,0 +1,248 @@
+#include "tau/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ktau::tau {
+
+namespace {
+
+double cycles_to_us(sim::Cycles c, sim::FreqHz freq) {
+  return freq == 0 ? 0.0
+                   : static_cast<double>(c) / static_cast<double>(freq) * 1e6;
+}
+
+struct FunctionRow {
+  std::string name;
+  std::string group;
+  std::uint64_t calls = 0;
+  std::uint64_t subrs = 0;
+  double excl_us = 0;
+  double incl_us = 0;
+};
+
+struct UserEventRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double max = 0, min = 0, mean = 0;
+};
+
+void write_rows(std::ostream& os, const std::vector<FunctionRow>& functions,
+                const std::vector<UserEventRow>& events) {
+  os << functions.size() << " templated_functions_MULTI_TIME\n";
+  os << "# Name Calls Subrs Excl Incl ProfileCalls\n";
+  for (const auto& f : functions) {
+    char buf[64];
+    os << '"' << f.name << "\" " << f.calls << " " << f.subrs << " ";
+    std::snprintf(buf, sizeof buf, "%.4f", f.excl_us);
+    os << buf << " ";
+    std::snprintf(buf, sizeof buf, "%.4f", f.incl_us);
+    os << buf << " 0 GROUP=\"" << f.group << "\"\n";
+  }
+  os << "0 aggregates\n";
+  os << events.size() << " userevents\n";
+  if (!events.empty()) {
+    os << "# eventname numevents max min mean sumsqr\n";
+    for (const auto& e : events) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf, "\"%s\" %llu %.4f %.4f %.4f 0\n",
+                    e.name.c_str(),
+                    static_cast<unsigned long long>(e.count), e.max, e.min,
+                    e.mean);
+      os << buf;
+    }
+  }
+}
+
+std::vector<FunctionRow> kernel_rows(const meas::ProfileSnapshot& snap,
+                                     const meas::TaskProfileData& task) {
+  // Subrs: derivable from call-path edges when available.
+  std::unordered_map<meas::EventId, std::uint64_t> subrs;
+  for (const auto& e : task.edges) {
+    if (e.parent != meas::kCallpathRoot) subrs[e.parent] += e.count;
+  }
+  std::vector<FunctionRow> rows;
+  for (const auto& ev : task.events) {
+    if (ev.count == 0) continue;
+    FunctionRow row;
+    row.name = std::string(snap.event_name(ev.id));
+    row.group =
+        "KTAU_" + std::string(meas::group_name(snap.event_group(ev.id)));
+    std::transform(row.group.begin(), row.group.end(), row.group.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    row.calls = ev.count;
+    const auto it = subrs.find(ev.id);
+    row.subrs = it == subrs.end() ? 0 : it->second;
+    row.excl_us = cycles_to_us(ev.excl, snap.cpu_freq);
+    row.incl_us = cycles_to_us(ev.incl, snap.cpu_freq);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<UserEventRow> atomic_rows(const meas::ProfileSnapshot& snap,
+                                      const meas::TaskProfileData& task) {
+  std::vector<UserEventRow> rows;
+  for (const auto& at : task.atomics) {
+    UserEventRow row;
+    row.name = std::string(snap.event_name(at.id));
+    row.count = at.count;
+    row.max = at.max;
+    row.min = at.min;
+    row.mean = at.count != 0 ? at.sum / static_cast<double>(at.count) : 0;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void write_tau_profile(std::ostream& os, const Profiler& prof,
+                       sim::FreqHz freq) {
+  std::vector<FunctionRow> rows;
+  for (FuncId f = 0; f < prof.func_count(); ++f) {
+    const FuncMetrics& m = prof.metrics(f);
+    if (m.count == 0) continue;
+    FunctionRow row;
+    row.name = prof.name(f);
+    row.group = "TAU_DEFAULT";
+    row.calls = m.count;
+    row.excl_us = cycles_to_us(m.excl, freq);
+    row.incl_us = cycles_to_us(m.incl, freq);
+    rows.push_back(std::move(row));
+  }
+  write_rows(os, rows, {});
+}
+
+void write_kernel_profile(std::ostream& os, const meas::ProfileSnapshot& snap,
+                          const meas::TaskProfileData& task) {
+  write_rows(os, kernel_rows(snap, task), atomic_rows(snap, task));
+}
+
+void write_merged_profile(std::ostream& os, const meas::ProfileSnapshot& snap,
+                          const meas::TaskProfileData& task,
+                          const Profiler& prof) {
+  // Kernel exclusive time inside each user routine (the bridge matrix)
+  // gives the "true" user exclusive time of the merged view (Fig 2-D).
+  std::unordered_map<meas::EventId, double> kernel_inside_us;
+  for (const auto& br : task.bridge) {
+    kernel_inside_us[br.user_event] += cycles_to_us(br.excl, snap.cpu_freq);
+  }
+
+  std::vector<FunctionRow> rows;
+  for (FuncId f = 0; f < prof.func_count(); ++f) {
+    const FuncMetrics& m = prof.metrics(f);
+    if (m.count == 0) continue;
+    FunctionRow row;
+    row.name = prof.name(f);
+    row.group = "TAU_DEFAULT";
+    row.calls = m.count;
+    const double raw_excl = cycles_to_us(m.excl, snap.cpu_freq);
+    const auto it = kernel_inside_us.find(prof.ktau_event(f));
+    const double inside = it == kernel_inside_us.end() ? 0.0 : it->second;
+    row.excl_us = std::max(0.0, raw_excl - inside);
+    row.incl_us = cycles_to_us(m.incl, snap.cpu_freq);
+    rows.push_back(std::move(row));
+  }
+  for (auto& krow : kernel_rows(snap, task)) rows.push_back(std::move(krow));
+  write_rows(os, rows, atomic_rows(snap, task));
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::runtime_error bad(const std::string& what) {
+  return std::runtime_error("TAU profile parse error: " + what);
+}
+
+/// Extracts a quoted name; returns the rest of the line after the closing
+/// quote.
+std::string take_quoted(const std::string& line, std::string& rest) {
+  const auto first = line.find('"');
+  const auto second = line.find('"', first + 1);
+  if (first == std::string::npos || second == std::string::npos) {
+    throw bad("expected quoted name: " + line);
+  }
+  rest = line.substr(second + 1);
+  return line.substr(first + 1, second - first - 1);
+}
+
+}  // namespace
+
+TauProfileFile read_tau_profile(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  TauProfileFile out;
+
+  if (!std::getline(is, line)) throw bad("empty input");
+  std::size_t nfun = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> nfun >> tag) || tag != "templated_functions_MULTI_TIME") {
+      throw bad("header: " + line);
+    }
+  }
+  if (!std::getline(is, line) || line.empty() || line[0] != '#') {
+    throw bad("missing column comment");
+  }
+  for (std::size_t i = 0; i < nfun; ++i) {
+    if (!std::getline(is, line)) throw bad("truncated function table");
+    TauProfileRow row;
+    std::string rest;
+    row.name = take_quoted(line, rest);
+    std::istringstream ls(rest);
+    double profile_calls = 0;
+    std::string group_field;
+    if (!(ls >> row.calls >> row.subrs >> row.excl_us >> row.incl_us >>
+          profile_calls >> group_field)) {
+      throw bad("function row: " + line);
+    }
+    const auto eq = group_field.find('=');
+    if (group_field.rfind("GROUP=", 0) == 0 && eq != std::string::npos) {
+      row.group = group_field.substr(eq + 1);
+      // strip quotes
+      row.group.erase(std::remove(row.group.begin(), row.group.end(), '"'),
+                      row.group.end());
+    }
+    out.functions.push_back(std::move(row));
+  }
+  if (!std::getline(is, line)) throw bad("missing aggregates line");
+  if (!std::getline(is, line)) throw bad("missing userevents line");
+  std::size_t nue = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> nue >> tag) || tag != "userevents") {
+      throw bad("userevents header: " + line);
+    }
+  }
+  if (nue > 0) {
+    if (!std::getline(is, line) || line.empty() || line[0] != '#') {
+      throw bad("missing userevent column comment");
+    }
+    for (std::size_t i = 0; i < nue; ++i) {
+      if (!std::getline(is, line)) throw bad("truncated userevents");
+      TauUserEventRow row;
+      std::string rest;
+      row.name = take_quoted(line, rest);
+      std::istringstream ls(rest);
+      double sumsqr = 0;
+      if (!(ls >> row.numevents >> row.max >> row.min >> row.mean >> sumsqr)) {
+        throw bad("userevent row: " + line);
+      }
+      out.userevents.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace ktau::tau

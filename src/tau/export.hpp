@@ -1,0 +1,76 @@
+// TAU profile-format export.
+//
+// The paper's §3: "The performance data produced by KTAU is intentionally
+// compatible with that produced by the TAU performance system", which is
+// what lets ParaProf/Vampir/Jumpshot consume it.  This module writes the
+// classic TAU "profile.X.Y.Z" text format:
+//
+//   <n> templated_functions_MULTI_TIME
+//   # Name Calls Subrs Excl Incl ProfileCalls
+//   "main" 1 4 1234 56789 0 GROUP="TAU_DEFAULT"
+//   ...
+//   0 aggregates
+//   <k> userevents
+//   # eventname numevents max min mean sumsqr
+//   "net_rx_bytes" 12 1460 64 980.2 0
+//
+// Times are microseconds, as ParaProf expects.  Three writers cover the
+// paper's three data products: user-level profiles (TAU), kernel profiles
+// (KTAU), and the merged view.  A minimal reader supports round-trip
+// validation and external tooling tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ktau/snapshot.hpp"
+#include "tau/profiler.hpp"
+
+namespace ktau::tau {
+
+/// Writes a user-level profile in TAU format.
+void write_tau_profile(std::ostream& os, const Profiler& prof,
+                       sim::FreqHz freq);
+
+/// Writes one process's kernel profile (KTAU view) in TAU format; kernel
+/// routines keep their kernel names, atomic events become TAU userevents.
+void write_kernel_profile(std::ostream& os, const meas::ProfileSnapshot& snap,
+                          const meas::TaskProfileData& task);
+
+/// Writes the merged user+kernel profile (Figure 2-D's integrated view):
+/// user routines with "true" exclusive time plus kernel routines, one
+/// function table.
+void write_merged_profile(std::ostream& os, const meas::ProfileSnapshot& snap,
+                          const meas::TaskProfileData& task,
+                          const Profiler& prof);
+
+// -- minimal reader (validation / tooling) -----------------------------------
+
+struct TauProfileRow {
+  std::string name;
+  std::string group;
+  std::uint64_t calls = 0;
+  std::uint64_t subrs = 0;
+  double excl_us = 0;
+  double incl_us = 0;
+};
+
+struct TauUserEventRow {
+  std::string name;
+  std::uint64_t numevents = 0;
+  double max = 0;
+  double min = 0;
+  double mean = 0;
+};
+
+struct TauProfileFile {
+  std::vector<TauProfileRow> functions;
+  std::vector<TauUserEventRow> userevents;
+};
+
+/// Parses the TAU profile text format written above.  Throws
+/// std::runtime_error on malformed input.
+TauProfileFile read_tau_profile(const std::string& text);
+
+}  // namespace ktau::tau

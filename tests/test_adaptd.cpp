@@ -1,0 +1,131 @@
+// Tests for the adaptive IRQ-routing controller (the measurement ->
+// adaptation loop of the ZeptoOS context, paper §3/§6).
+#include <gtest/gtest.h>
+
+#include "clients/adaptd.hpp"
+#include "kernel/cluster.hpp"
+#include "knet/stack.hpp"
+
+namespace ktau::clients {
+namespace {
+
+using kernel::Cluster;
+using kernel::Machine;
+using kernel::MachineConfig;
+using kernel::Program;
+using sim::kMillisecond;
+using sim::kSecond;
+
+struct StreamEnv {
+  Cluster cluster;
+  Machine* sender = nullptr;
+  Machine* receiver = nullptr;
+  std::unique_ptr<knet::Fabric> fabric;
+  std::vector<kernel::Task*> consumers;
+
+  explicit StreamEnv(kernel::IrqPolicy policy, int chunks = 120) {
+    MachineConfig cfg;
+    cfg.cpus = 2;
+    sender = &cluster.add_machine(cfg);
+    MachineConfig rcfg = cfg;
+    rcfg.irq_policy = policy;
+    receiver = &cluster.add_machine(rcfg);
+    fabric = std::make_unique<knet::Fabric>(cluster);
+    for (int i = 0; i < 2; ++i) {
+      const auto conn = fabric->connect(0, 1);
+      kernel::Task& tx = sender->spawn("tx" + std::to_string(i),
+                                       kernel::cpu_bit(i));
+      tx.program = [](int fd, int n) -> Program {
+        for (int c = 0; c < n; ++c) {
+          co_await kernel::SendMsg{fd, 48 * 1024};
+          co_await kernel::SleepFor{5 * kMillisecond};
+        }
+      }(conn.fd_a, chunks);
+      sender->launch(tx);
+      kernel::Task& rx = receiver->spawn("worker" + std::to_string(i),
+                                         kernel::cpu_bit(i));
+      rx.program = [](int fd, int n) -> Program {
+        for (int c = 0; c < n; ++c) {
+          co_await kernel::RecvMsg{fd, 48 * 1024, 8 * kMillisecond};
+          co_await kernel::Compute{7 * kMillisecond};
+        }
+      }(conn.fd_b, chunks);
+      receiver->launch(rx);
+      consumers.push_back(&rx);
+    }
+  }
+
+  void run_to_completion() {
+    while (!(consumers[0]->exited && consumers[1]->exited)) {
+      cluster.run_until(cluster.now() + kSecond);
+    }
+  }
+};
+
+TEST(Adaptd, RebalancesConcentratedInterrupts) {
+  StreamEnv env(kernel::IrqPolicy::AllToOne);
+  AdaptdConfig cfg;
+  cfg.period = 300 * kMillisecond;
+  Adaptd adaptd(*env.receiver, cfg);
+  env.run_to_completion();
+
+  EXPECT_TRUE(adaptd.rebalanced());
+  EXPECT_EQ(env.receiver->irq_policy(), kernel::IrqPolicy::RoundRobin);
+  EXPECT_GT(adaptd.decisions(), 1u);
+  // After rebalancing, CPU1 must have taken real interrupt load.
+  EXPECT_GT(env.receiver->cpu(1).hard_irqs, 50u);
+  EXPECT_GT(adaptd.observed_irq_sec(), 0.0);
+}
+
+TEST(Adaptd, LeavesBalancedSystemAlone) {
+  StreamEnv env(kernel::IrqPolicy::RoundRobin);
+  AdaptdConfig cfg;
+  cfg.period = 300 * kMillisecond;
+  Adaptd adaptd(*env.receiver, cfg);
+  env.run_to_completion();
+
+  EXPECT_FALSE(adaptd.rebalanced());
+  EXPECT_GT(adaptd.decisions(), 1u);
+}
+
+TEST(Adaptd, IgnoresQuietSystems) {
+  Cluster cluster;
+  MachineConfig cfg;
+  cfg.cpus = 2;
+  Machine& m = cluster.add_machine(cfg);
+  kernel::Task& t = m.spawn("quiet");
+  t.program = [](void) -> Program {
+    co_await kernel::Compute{2 * kSecond};
+  }();
+  m.launch(t);
+  AdaptdConfig acfg;
+  acfg.period = 200 * kMillisecond;
+  acfg.until = 2 * kSecond;
+  Adaptd adaptd(m, acfg);
+  cluster.run();
+  // No device interrupts at all: min_irqs gate holds the policy steady.
+  EXPECT_FALSE(adaptd.rebalanced());
+  EXPECT_EQ(m.irq_policy(), kernel::IrqPolicy::AllToOne);
+}
+
+TEST(Adaptd, AdaptationImprovesCompletionTime) {
+  // End to end: same workload with and without the controller.
+  StreamEnv fixed(kernel::IrqPolicy::AllToOne);
+  fixed.run_to_completion();
+  const auto fixed_done =
+      std::max(fixed.consumers[0]->end_time, fixed.consumers[1]->end_time);
+
+  StreamEnv adaptive(kernel::IrqPolicy::AllToOne);
+  AdaptdConfig cfg;
+  cfg.period = 300 * kMillisecond;
+  Adaptd adaptd(*adaptive.receiver, cfg);
+  adaptive.run_to_completion();
+  const auto adaptive_done = std::max(adaptive.consumers[0]->end_time,
+                                      adaptive.consumers[1]->end_time);
+
+  EXPECT_TRUE(adaptd.rebalanced());
+  EXPECT_LT(adaptive_done, fixed_done);
+}
+
+}  // namespace
+}  // namespace ktau::clients

@@ -1,0 +1,174 @@
+// Edge-case tests for the kernel layer: affinity validation, signals,
+// placement corner cases, proc visibility of idle contexts, and runtime
+// IRQ-policy reconfiguration.
+#include <gtest/gtest.h>
+
+#include "kernel/cluster.hpp"
+#include "knet/stack.hpp"
+#include "libktau/libktau.hpp"
+
+namespace ktau::kernel {
+namespace {
+
+using sim::kMillisecond;
+using sim::kSecond;
+
+MachineConfig quiet(std::uint32_t cpus = 2) {
+  MachineConfig cfg;
+  cfg.cpus = cpus;
+  cfg.ktau.charge_overhead = false;
+  cfg.wake_misplace_prob = 0.0;
+  cfg.smp_compute_dilation = 0.0;
+  return cfg;
+}
+
+TEST(KernelEdges, ImpossibleAffinityThrowsAtLaunch) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(2));
+  Task& t = m.spawn("bad", cpu_bit(5));  // CPU 5 does not exist
+  t.program = [](void) -> Program { co_await Compute{1 * kMillisecond}; }();
+  m.launch(t);
+  EXPECT_THROW(cluster.run(), std::logic_error);
+}
+
+TEST(KernelEdges, SignalToExitedTaskIsIgnored) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("short");
+  t.program = [](void) -> Program { co_await Compute{1 * kMillisecond}; }();
+  m.launch(t);
+  cluster.run();
+  EXPECT_TRUE(t.exited);
+  m.send_signal(t);  // must not crash or resurrect
+  cluster.run();
+  EXPECT_EQ(m.live_count(), 0u);
+}
+
+TEST(KernelEdges, MultipleSignalsAllDelivered) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("target");
+  t.program = [](void) -> Program {
+    co_await Compute{50 * kMillisecond};
+    co_await SleepFor{1 * kMillisecond};
+    co_await Compute{5 * kMillisecond};
+  }();
+  m.launch(t);
+  // Three signals while the task computes: delivered at the next switch-in.
+  cluster.engine().schedule_at(10 * kMillisecond, [&] {
+    m.send_signal(t);
+    m.send_signal(t);
+    m.send_signal(t);
+  });
+  cluster.run();
+  const auto ev = m.ktau().registry().find("signal_deliver");
+  EXPECT_EQ(m.ktau().reaped()[0].profile.metrics(ev).count, 3u);
+}
+
+TEST(KernelEdges, ZeroLengthComputeCompletesInstantly) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("zero");
+  t.program = [](void) -> Program {
+    for (int i = 0; i < 100; ++i) co_await Compute{0};
+    co_await Compute{1 * kMillisecond};
+  }();
+  m.launch(t);
+  cluster.run();
+  EXPECT_TRUE(t.exited);
+  EXPECT_LT(t.end_time, 2 * kMillisecond);
+}
+
+TEST(KernelEdges, EmptyProgramExitsImmediately) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("empty");
+  t.program = [](void) -> Program { co_return; }();
+  m.launch(t);
+  cluster.run();
+  EXPECT_TRUE(t.exited);
+}
+
+TEST(KernelEdges, SwapperProfilesVisibleThroughProc) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(2));
+  user::KtauHandle handle(m.proc());
+  const auto snap = handle.get_profile(meas::Scope::All);
+  int swappers = 0;
+  for (const auto& task : snap.tasks) {
+    if (task.name.rfind("swapper/", 0) == 0) ++swappers;
+  }
+  EXPECT_EQ(swappers, 2);
+  // Idle contexts are addressable individually too.
+  const meas::Pid pid0[] = {0};
+  const auto self = handle.get_profile(meas::Scope::Other, pid0);
+  ASSERT_EQ(self.tasks.size(), 1u);
+  EXPECT_EQ(self.tasks[0].name, "swapper/0");
+}
+
+TEST(KernelEdges, RuntimeIrqPolicySwitchTakesEffect) {
+  Cluster cluster;
+  Machine& a = cluster.add_machine(quiet(2));
+  Machine& b = cluster.add_machine(quiet(2));
+  knet::Fabric fabric(cluster);
+  const auto conn = fabric.connect(0, 1);
+
+  Task& tx = a.spawn("tx");
+  tx.program = [](int fd) -> Program {
+    for (int i = 0; i < 40; ++i) {
+      co_await SendMsg{fd, 1000};
+      co_await SleepFor{5 * kMillisecond};
+    }
+  }(conn.fd_a);
+  a.launch(tx);
+  Task& rx = b.spawn("rx");
+  rx.program = [](int fd) -> Program {
+    for (int i = 0; i < 40; ++i) co_await RecvMsg{fd, 1000};
+  }(conn.fd_b);
+  b.launch(rx);
+
+  // Flip node b's routing mid-run.
+  cluster.engine().schedule_at(100 * kMillisecond,
+                               [&] { b.set_irq_policy(IrqPolicy::RoundRobin); });
+  cluster.run();
+  EXPECT_EQ(b.irq_policy(), IrqPolicy::RoundRobin);
+  // Interrupts landed on both CPUs only because of the switch.
+  EXPECT_GT(b.cpu(0).hard_irqs, 0u);
+  EXPECT_GT(b.cpu(1).hard_irqs, 0u);
+}
+
+TEST(KernelEdges, YieldAloneOnCpuIsCheap) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("yielder");
+  t.program = [](void) -> Program {
+    for (int i = 0; i < 50; ++i) co_await Yield{};
+  }();
+  m.launch(t);
+  cluster.run();
+  EXPECT_TRUE(t.exited);
+  // No competition: yields complete without context switches beyond the
+  // initial dispatch.
+  EXPECT_LE(m.total_context_switches(), 2u);
+}
+
+TEST(KernelEdges, TickAccountingSurvivesBackToBackPreemption) {
+  // Three CPU-hogs on one CPU churn through timeslices; totals stay sane.
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 3; ++i) {
+    Task& t = m.spawn("hog" + std::to_string(i));
+    t.program = [](void) -> Program { co_await Compute{500 * kMillisecond}; }();
+    tasks.push_back(&t);
+    m.launch(t);
+  }
+  cluster.run();
+  const auto end = std::max({tasks[0]->end_time, tasks[1]->end_time,
+                             tasks[2]->end_time});
+  EXPECT_GE(end, 1500 * kMillisecond);
+  EXPECT_LT(end, static_cast<sim::TimeNs>(1.6 * kSecond));
+}
+
+}  // namespace
+}  // namespace ktau::kernel

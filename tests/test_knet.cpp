@@ -1,0 +1,319 @@
+// Network stack tests: delivery, blocking receives, loopback softirq
+// placement, IRQ routing policies, and the cross-CPU cache penalty.
+#include <gtest/gtest.h>
+
+#include "kernel/cluster.hpp"
+#include "knet/stack.hpp"
+
+namespace ktau::knet {
+namespace {
+
+using kernel::Cluster;
+using kernel::Compute;
+using kernel::cpu_bit;
+using kernel::Machine;
+using kernel::MachineConfig;
+using kernel::Program;
+using kernel::RecvMsg;
+using kernel::SendMsg;
+using kernel::Task;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::kSecond;
+
+MachineConfig node_config(std::uint32_t cpus = 2) {
+  MachineConfig cfg;
+  cfg.cpus = cpus;
+  cfg.ktau.charge_overhead = false;
+  cfg.wake_misplace_prob = 0.0;
+  cfg.smp_compute_dilation = 0.0;
+  return cfg;
+}
+
+struct TwoNodes {
+  Cluster cluster;
+  Machine* a = nullptr;
+  Machine* b = nullptr;
+  std::unique_ptr<Fabric> fabric;
+
+  explicit TwoNodes(const MachineConfig& cfg = node_config(),
+                    NetConfig net = {}) {
+    a = &cluster.add_machine(cfg);
+    b = &cluster.add_machine(cfg);
+    net.latency_jitter_mean = 0;  // deterministic timing for tests
+    fabric = std::make_unique<Fabric>(cluster, net);
+  }
+};
+
+Program sender(int fd, std::uint64_t bytes) { co_await SendMsg{fd, bytes}; }
+Program receiver(int fd, std::uint64_t bytes) { co_await RecvMsg{fd, bytes}; }
+
+TEST(Knet, MessageDeliveredAcrossNodes) {
+  TwoNodes env;
+  const auto conn = env.fabric->connect(0, 1);
+  Task& tx = env.a->spawn("tx");
+  tx.program = sender(conn.fd_a, 10'000);
+  Task& rx = env.b->spawn("rx");
+  rx.program = receiver(conn.fd_b, 10'000);
+  env.a->launch(tx);
+  env.b->launch(rx);
+  env.cluster.run();
+
+  EXPECT_TRUE(tx.exited);
+  EXPECT_TRUE(rx.exited);
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, 10'000u);
+  // 10 KB over 100 Mb/s is ~0.8 ms of serialization + latency.
+  EXPECT_GT(rx.end_time, 800 * kMicrosecond);
+  EXPECT_LT(rx.end_time, 3 * kMillisecond);
+}
+
+TEST(Knet, ReceiverBlocksUntilDataArrives) {
+  TwoNodes env;
+  const auto conn = env.fabric->connect(0, 1);
+  Task& rx = env.b->spawn("rx");
+  rx.program = receiver(conn.fd_b, 5'000);
+  env.b->launch(rx);
+  // Sender starts 50 ms later; the receiver must block (voluntarily) for
+  // roughly that long.
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, 50 * kMillisecond);
+  tx.program = sender(conn.fd_a, 5'000);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  EXPECT_TRUE(rx.exited);
+  EXPECT_GE(rx.end_time, 50 * kMillisecond);
+  const auto vol = env.b->ktau().registry().find("schedule_vol");
+  const auto& prof = env.b->ktau().reaped()[0].profile;
+  EXPECT_EQ(prof.metrics(vol).count, 1u);
+  const double waited =
+      static_cast<double>(prof.metrics(vol).incl) /
+      static_cast<double>(env.b->config().freq);
+  EXPECT_NEAR(waited, 0.05, 0.005);
+}
+
+TEST(Knet, RecvCompletesImmediatelyWhenDataAlreadyQueued) {
+  TwoNodes env;
+  const auto conn = env.fabric->connect(0, 1);
+  Task& tx = env.a->spawn("tx");
+  tx.program = sender(conn.fd_a, 2'000);
+  env.a->launch(tx);
+  // Receiver starts long after the data arrived.
+  Task& rx = env.b->spawn("rx", kernel::kAllCpus, 200 * kMillisecond);
+  rx.program = receiver(conn.fd_b, 2'000);
+  env.b->launch(rx);
+  env.cluster.run();
+  EXPECT_TRUE(rx.exited);
+  // No voluntary block in the receiver.
+  const auto vol = env.b->ktau().registry().find("schedule_vol");
+  for (const auto& r : env.b->ktau().reaped()) {
+    EXPECT_EQ(r.profile.metrics(vol).count, 0u);
+  }
+}
+
+TEST(Knet, SegmentationProducesExpectedTcpCallCounts) {
+  NetConfig net;
+  net.segment_bytes = 4096;
+  TwoNodes env(node_config(), net);
+  const auto conn = env.fabric->connect(0, 1);
+  Task& tx = env.a->spawn("tx");
+  tx.program = sender(conn.fd_a, 10'000);  // 3 segments: 4096+4096+1808
+  Task& rx = env.b->spawn("rx");
+  rx.program = receiver(conn.fd_b, 10'000);
+  env.a->launch(tx);
+  env.b->launch(rx);
+  env.cluster.run();
+
+  EXPECT_EQ(env.fabric->stack(1).rx_segments(), 3u);
+  const auto send_ev = env.a->ktau().registry().find("tcp_sendmsg");
+  std::uint64_t send_calls = 0;
+  for (const auto& r : env.a->ktau().reaped()) {
+    send_calls += r.profile.metrics(send_ev).count;
+  }
+  EXPECT_EQ(send_calls, 3u);
+}
+
+TEST(Knet, LoopbackSoftirqRunsInsideSendPath) {
+  // Two tasks on one node: receive processing happens in the sender's
+  // kernel path (softirq checked when the send syscall's path ends) —
+  // the effect the paper shows in Figure 2-E.
+  Cluster cluster;
+  Machine& m = cluster.add_machine(node_config(2));
+  Fabric fabric(cluster);
+  const auto conn = fabric.connect(0, 0);
+
+  Task& rx = m.spawn("rx", cpu_bit(1));
+  rx.program = receiver(conn.fd_b, 3'000);
+  Task& tx = m.spawn("tx", cpu_bit(0), 10 * kMillisecond);
+  tx.program = sender(conn.fd_a, 3'000);
+  m.launch(rx);
+  m.launch(tx);
+  cluster.run();
+
+  EXPECT_TRUE(rx.exited);
+  // tcp_v4_rcv was charged to the *sender's* process-centric profile: the
+  // softirq ran on the sender's CPU at the end of its send syscall.
+  const auto rcv = m.ktau().registry().find("tcp_v4_rcv");
+  std::uint64_t tx_rcv = 0, rx_rcv = 0;
+  for (const auto& r : m.ktau().reaped()) {
+    if (r.name == "tx") tx_rcv = r.profile.metrics(rcv).count;
+    if (r.name == "rx") rx_rcv = r.profile.metrics(rcv).count;
+  }
+  EXPECT_EQ(tx_rcv, 3u);  // 3000 B = 3 MTU-sized segments
+  EXPECT_EQ(rx_rcv, 0u);
+}
+
+TEST(Knet, IrqPolicyAllToOneChargesSingleCpu) {
+  auto cfg = node_config(2);
+  cfg.irq_policy = kernel::IrqPolicy::AllToOne;
+  cfg.irq_target = 0;
+  TwoNodes env(cfg);
+  const auto conn = env.fabric->connect(0, 1);
+  Task& tx = env.a->spawn("tx");
+  tx.program = [](int fd) -> Program {
+    for (int i = 0; i < 20; ++i) co_await SendMsg{fd, 4096};
+  }(conn.fd_a);
+  Task& rx = env.b->spawn("rx", cpu_bit(1));  // consumer pinned to CPU1
+  rx.program = [](int fd) -> Program {
+    for (int i = 0; i < 20; ++i) co_await RecvMsg{fd, 4096};
+  }(conn.fd_b);
+  env.a->launch(tx);
+  env.b->launch(rx);
+  env.cluster.run();
+
+  // All NIC interrupts on node b landed on CPU0.
+  EXPECT_GT(env.b->cpu(0).hard_irqs, 0u);
+  EXPECT_EQ(env.b->cpu(1).hard_irqs, 0u);
+  // Consumer on CPU1, receive processing on CPU0: every segment paid the
+  // cache penalty.
+  EXPECT_EQ(env.fabric->stack(1).rx_penalized(),
+            env.fabric->stack(1).rx_segments());
+}
+
+TEST(Knet, IrqPolicyRoundRobinSpreadsIrqs) {
+  auto cfg = node_config(2);
+  cfg.irq_policy = kernel::IrqPolicy::RoundRobin;
+  TwoNodes env(cfg);
+  const auto conn = env.fabric->connect(0, 1);
+  Task& tx = env.a->spawn("tx");
+  tx.program = [](int fd) -> Program {
+    for (int i = 0; i < 40; ++i) {
+      co_await SendMsg{fd, 4096};
+      co_await kernel::SleepFor{2 * kMillisecond};  // separate the IRQs
+    }
+  }(conn.fd_a);
+  Task& rx = env.b->spawn("rx");
+  rx.program = [](int fd) -> Program {
+    for (int i = 0; i < 40; ++i) co_await RecvMsg{fd, 4096};
+  }(conn.fd_b);
+  env.a->launch(tx);
+  env.b->launch(rx);
+  env.cluster.run();
+
+  EXPECT_GT(env.b->cpu(0).hard_irqs, 5u);
+  EXPECT_GT(env.b->cpu(1).hard_irqs, 5u);
+}
+
+TEST(Knet, CachePenaltyDilatesPerCallReceiveCost) {
+  // Same traffic, two IRQ/pinning setups; compare mean exclusive cycles per
+  // tcp_v4_rcv call.  Mismatched consumer CPU must be measurably slower —
+  // the mechanism behind Figure 10's ~11.5% dilation.
+  auto run_case = [](kernel::CpuId consumer_cpu) {
+    auto cfg = node_config(2);
+    cfg.irq_policy = kernel::IrqPolicy::AllToOne;
+    cfg.irq_target = 0;
+    TwoNodes env(cfg);
+    const auto conn = env.fabric->connect(0, 1);
+    Task& tx = env.a->spawn("tx");
+    tx.program = [](int fd) -> Program {
+      for (int i = 0; i < 50; ++i) {
+        co_await SendMsg{fd, 4096};
+        co_await kernel::SleepFor{1 * kMillisecond};
+      }
+    }(conn.fd_a);
+    Task& rx = env.b->spawn("rx", cpu_bit(consumer_cpu));
+    rx.program = [](int fd) -> Program {
+      for (int i = 0; i < 50; ++i) co_await RecvMsg{fd, 4096};
+    }(conn.fd_b);
+    env.a->launch(tx);
+    env.b->launch(rx);
+    env.cluster.run();
+
+    // Aggregate tcp_v4_rcv over every context on node b (softirq time may
+    // be charged to rx, to swapper, or to whoever was current).
+    const auto rcv = env.b->ktau().registry().find("tcp_v4_rcv");
+    std::uint64_t count = 0;
+    sim::Cycles excl = 0;
+    auto fold = [&](const meas::TaskProfile& p) {
+      count += p.metrics(rcv).count;
+      excl += p.metrics(rcv).excl;
+    };
+    for (const auto& r : env.b->ktau().reaped()) fold(r.profile);
+    for (kernel::CpuId c = 0; c < env.b->cpu_count(); ++c) {
+      fold(env.b->cpu(c).idle_prof);
+    }
+    EXPECT_EQ(count, 150u);  // 50 messages x 3 MTU-sized segments
+    return static_cast<double>(excl) / static_cast<double>(count);
+  };
+
+  const double matched = run_case(0);    // consumer on the IRQ CPU
+  const double mismatched = run_case(1); // consumer on the other CPU
+  EXPECT_GT(mismatched, matched * 1.05);
+  EXPECT_LT(mismatched, matched * 1.6);
+}
+
+TEST(Knet, AtomicEventsRecordPacketSizes) {
+  TwoNodes env;
+  const auto conn = env.fabric->connect(0, 1);
+  Task& tx = env.a->spawn("tx");
+  tx.program = sender(conn.fd_a, 6'000);  // 1460*4 + 160
+  Task& rx = env.b->spawn("rx");
+  rx.program = receiver(conn.fd_b, 6'000);
+  env.a->launch(tx);
+  env.b->launch(rx);
+  env.cluster.run();
+
+  const auto ev = env.a->ktau().registry().find("net_tx_bytes");
+  const auto& prof = env.a->ktau().reaped()[0].profile;
+  const auto it = prof.atomics().find(ev);
+  ASSERT_NE(it, prof.atomics().end());
+  EXPECT_EQ(it->second.count, 5u);
+  EXPECT_DOUBLE_EQ(it->second.sum, 6000.0);
+  EXPECT_DOUBLE_EQ(it->second.max, 1460.0);
+  EXPECT_DOUBLE_EQ(it->second.min, 160.0);
+}
+
+TEST(Knet, SharedNicSerializesConcurrentSenders) {
+  // Two senders on one node share the NIC: their transfers serialize, so
+  // total time is ~2x a single transfer (the 64x2 contention effect).
+  auto run_case = [](int nsenders) {
+    Cluster cluster;
+    auto cfg = node_config(2);
+    Machine& m0 = cluster.add_machine(cfg);
+    cluster.add_machine(cfg);
+    NetConfig net;
+    net.latency_jitter_mean = 0;
+    Fabric fabric(cluster, net);
+    std::vector<Task*> rxs;
+    for (int i = 0; i < nsenders; ++i) {
+      const auto conn = fabric.connect(0, 1);
+      Task& tx = m0.spawn("tx" + std::to_string(i), cpu_bit(i));
+      tx.program = sender(conn.fd_a, 2'000'000);  // 2 MB
+      Task& rx = cluster.machine(1).spawn("rx" + std::to_string(i),
+                                          cpu_bit(i));
+      rx.program = receiver(conn.fd_b, 2'000'000);
+      m0.launch(tx);
+      cluster.machine(1).launch(rx);
+      rxs.push_back(&rx);
+    }
+    cluster.run();
+    sim::TimeNs done = 0;
+    for (Task* rx : rxs) done = std::max(done, rx->end_time);
+    return done;
+  };
+  const auto one = run_case(1);
+  const auto two = run_case(2);
+  EXPECT_GT(two, one * 17 / 10);  // close to 2x
+}
+
+}  // namespace
+}  // namespace ktau::knet

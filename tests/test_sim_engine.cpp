@@ -1,0 +1,168 @@
+// Unit tests for the discrete-event engine: ordering, determinism,
+// cancellation, horizon semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace ktau::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameTimeEventsRunFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    e.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  TimeNs seen = 0;
+  e.schedule_at(1'000'000, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, 1'000'000u);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine e;
+  TimeNs seen = 0;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine e;
+  TimeNs seen = 0;
+  e.schedule_at(100, [&] {
+    // Scheduling "in the past" is clamped, not an error.
+    e.schedule_at(10, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  bool ran = false;
+  const EventId id = e.schedule_at(10, [&] { ran = true; });
+  e.cancel(id);
+  e.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(e.executed(), 0u);
+}
+
+TEST(Engine, CancelIsIdempotentAndToleratesNoEvent) {
+  Engine e;
+  const EventId id = e.schedule_at(10, [] {});
+  e.cancel(id);
+  e.cancel(id);        // double cancel: no-op
+  e.cancel(kNoEvent);  // sentinel: no-op
+  e.run();
+  EXPECT_EQ(e.executed(), 0u);
+}
+
+TEST(Engine, CancelOneOfManyAtSameTime) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(0); });
+  const EventId id = e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Engine, RunUntilStopsAtHorizonAndSetsNow) {
+  Engine e;
+  std::vector<TimeNs> fired;
+  for (TimeNs t : {10u, 20u, 30u, 40u}) {
+    e.schedule_at(t, [&fired, &e] { fired.push_back(e.now()); });
+  }
+  e.run_until(25);
+  EXPECT_EQ(fired, (std::vector<TimeNs>{10, 20}));
+  EXPECT_EQ(e.now(), 25u);
+  EXPECT_EQ(e.pending(), 2u);
+  e.run_until(100);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, RunUntilIncludesEventsAtHorizon) {
+  Engine e;
+  bool ran = false;
+  e.schedule_at(25, [&] { ran = true; });
+  e.run_until(25);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  Engine e;
+  int depth = 0;
+  // A chain: each event schedules the next, five deep.
+  std::function<void()> chain = [&] {
+    if (++depth < 5) e.schedule_after(10, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(e.now(), 40u);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const EventId a = e.schedule_at(1, [] {});
+  e.schedule_at(2, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_at(static_cast<TimeNs>((i * 37) % 11), [&order, i] {
+        order.push_back(i);
+      });
+    }
+    e.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(10, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+}  // namespace
+}  // namespace ktau::sim

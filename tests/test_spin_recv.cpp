@@ -1,0 +1,205 @@
+// Focused tests for the MPICH-style spin-then-block receive path: EAGAIN
+// polling, the poke-on-arrival short cut, budget exhaustion, and the
+// scheduling accounting consequences (the mechanism behind the paper's
+// Figures 5/6 anomaly signatures).
+#include <gtest/gtest.h>
+
+#include "kernel/cluster.hpp"
+#include "knet/stack.hpp"
+
+namespace ktau::knet {
+namespace {
+
+using kernel::Cluster;
+using kernel::cpu_bit;
+using kernel::Machine;
+using kernel::MachineConfig;
+using kernel::Program;
+using kernel::RecvMsg;
+using kernel::SendMsg;
+using kernel::Task;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::kSecond;
+
+MachineConfig quiet(std::uint32_t cpus = 2) {
+  MachineConfig cfg;
+  cfg.cpus = cpus;
+  cfg.ktau.charge_overhead = false;
+  cfg.wake_misplace_prob = 0.0;
+  cfg.smp_compute_dilation = 0.0;
+  return cfg;
+}
+
+struct Env {
+  Cluster cluster;
+  Machine* a;
+  Machine* b;
+  std::unique_ptr<Fabric> fabric;
+  Fabric::Connection conn;
+
+  Env() {
+    a = &cluster.add_machine(quiet());
+    b = &cluster.add_machine(quiet());
+    NetConfig net;
+    net.latency_jitter_mean = 0;
+    fabric = std::make_unique<Fabric>(cluster, net);
+    conn = fabric->connect(0, 1);
+  }
+};
+
+double vol_sched_sec(Machine& m, const char* task_name) {
+  const auto ev = m.ktau().registry().find("schedule_vol");
+  for (const auto& r : m.ktau().reaped()) {
+    if (r.name == task_name) {
+      return static_cast<double>(r.profile.metrics(ev).incl) /
+             static_cast<double>(m.config().freq);
+    }
+  }
+  return 0.0;
+}
+
+std::uint64_t sys_read_count(Machine& m, const char* task_name) {
+  const auto ev = m.ktau().registry().find("sys_read");
+  for (const auto& r : m.ktau().reaped()) {
+    if (r.name == task_name) return r.profile.metrics(ev).count;
+  }
+  return 0;
+}
+
+TEST(SpinRecv, BudgetLongerThanWaitAvoidsBlocking) {
+  Env env;
+  // Sender fires after 30 ms; receiver polls with a 100 ms budget: it must
+  // never block voluntarily.
+  Task& rx = env.b->spawn("rx");
+  rx.program = [](int fd) -> Program {
+    co_await RecvMsg{fd, 1000, 100 * kMillisecond};
+  }(env.conn.fd_b);
+  env.b->launch(rx);
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, 30 * kMillisecond);
+  tx.program = [](int fd) -> Program { co_await SendMsg{fd, 1000}; }(
+      env.conn.fd_a);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  EXPECT_TRUE(rx.exited);
+  EXPECT_NEAR(vol_sched_sec(*env.b, "rx"), 0.0, 1e-9);
+  // Polling issued several non-blocking reads (EAGAIN retries).
+  EXPECT_GE(sys_read_count(*env.b, "rx"), 2u);
+}
+
+TEST(SpinRecv, PokeCompletesRecvPromptlyOnArrival) {
+  Env env;
+  Task& rx = env.b->spawn("rx");
+  rx.program = [](int fd) -> Program {
+    co_await RecvMsg{fd, 1000, 1 * kSecond};  // huge budget, coarse chunks
+  }(env.conn.fd_b);
+  env.b->launch(rx);
+  const sim::TimeNs send_at = 200 * kMillisecond;
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, send_at);
+  tx.program = [](int fd) -> Program { co_await SendMsg{fd, 1000}; }(
+      env.conn.fd_a);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  // Despite geometrically growing spin chunks (up to ~100 ms around the
+  // arrival time), the poke cuts the spin the moment data lands: the recv
+  // completes within ~1 ms of the wire arrival, not at the chunk boundary.
+  EXPECT_TRUE(rx.exited);
+  EXPECT_LT(rx.end_time, send_at + 5 * kMillisecond);
+}
+
+TEST(SpinRecv, ExhaustedBudgetFallsBackToBlocking) {
+  Env env;
+  Task& rx = env.b->spawn("rx");
+  rx.program = [](int fd) -> Program {
+    co_await RecvMsg{fd, 1000, 10 * kMillisecond};  // short budget
+  }(env.conn.fd_b);
+  env.b->launch(rx);
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, 300 * kMillisecond);
+  tx.program = [](int fd) -> Program { co_await SendMsg{fd, 1000}; }(
+      env.conn.fd_a);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  EXPECT_TRUE(rx.exited);
+  // Blocked for roughly (wait - budget).
+  EXPECT_NEAR(vol_sched_sec(*env.b, "rx"), 0.29, 0.02);
+}
+
+TEST(SpinRecv, ZeroBudgetBlocksImmediately) {
+  Env env;
+  Task& rx = env.b->spawn("rx");
+  rx.program = [](int fd) -> Program { co_await RecvMsg{fd, 1000, 0}; }(
+      env.conn.fd_b);
+  env.b->launch(rx);
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, 100 * kMillisecond);
+  tx.program = [](int fd) -> Program { co_await SendMsg{fd, 1000}; }(
+      env.conn.fd_a);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  EXPECT_TRUE(rx.exited);
+  // Exactly one sys_read (the blocking one), ~100 ms voluntary wait.
+  EXPECT_EQ(sys_read_count(*env.b, "rx"), 1u);
+  EXPECT_NEAR(vol_sched_sec(*env.b, "rx"), 0.1, 0.01);
+}
+
+TEST(SpinRecv, SpinnerKeepsCpuBusy) {
+  // While polling, the receiver occupies its CPU (the contention mechanism
+  // on the paper's faulty node).
+  Env env;
+  Task& rx = env.b->spawn("rx", cpu_bit(0));
+  rx.program = [](int fd) -> Program {
+    co_await RecvMsg{fd, 1000, 500 * kMillisecond};
+  }(env.conn.fd_b);
+  env.b->launch(rx);
+  // A compute task pinned to the same CPU: it must share with the spinner
+  // rather than get a free CPU.
+  Task& comp = env.b->spawn("comp", cpu_bit(0));
+  comp.program = [](void) -> Program {
+    co_await kernel::Compute{200 * kMillisecond};
+  }();
+  env.b->launch(comp);
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, 400 * kMillisecond);
+  tx.program = [](int fd) -> Program { co_await SendMsg{fd, 1000}; }(
+      env.conn.fd_a);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  // The compute task needed >200 ms of wall time because the spinner
+  // contended for CPU0 (timeslice sharing).
+  EXPECT_GT(comp.end_time - comp.start_time, 250 * kMillisecond);
+}
+
+TEST(SpinRecv, PreemptedSpinnerResumesAndCompletes) {
+  Env env;
+  Task& rx = env.b->spawn("rx", cpu_bit(0));
+  rx.program = [](int fd) -> Program {
+    co_await RecvMsg{fd, 1000, 2 * kSecond};
+    co_await kernel::Compute{1 * kMillisecond};
+  }(env.conn.fd_b);
+  env.b->launch(rx);
+  // A periodic sleeper that wake-preempts the spinner repeatedly.
+  Task& daemon = env.b->spawn("daemon", cpu_bit(0));
+  daemon.is_daemon = true;
+  daemon.program = [](void) -> Program {
+    for (int i = 0; i < 20; ++i) {
+      co_await kernel::SleepFor{20 * kMillisecond};
+      co_await kernel::Compute{2 * kMillisecond};
+    }
+  }();
+  env.b->launch(daemon);
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, 350 * kMillisecond);
+  tx.program = [](int fd) -> Program { co_await SendMsg{fd, 1000}; }(
+      env.conn.fd_a);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  EXPECT_TRUE(rx.exited);
+  EXPECT_TRUE(daemon.exited);
+  EXPECT_LT(rx.end_time, 500 * kMillisecond);
+}
+
+}  // namespace
+}  // namespace ktau::knet

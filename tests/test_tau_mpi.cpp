@@ -1,0 +1,357 @@
+// Tests for the TAU-like user-level profiler, the KTAU user-context bridge
+// (merged user/kernel measurement), and the MPI layer.
+#include <gtest/gtest.h>
+
+#include "kernel/cluster.hpp"
+#include "kmpi/world.hpp"
+#include "knet/stack.hpp"
+#include "tau/profiler.hpp"
+
+namespace ktau {
+namespace {
+
+using kernel::Cluster;
+using kernel::Compute;
+using kernel::Machine;
+using kernel::MachineConfig;
+using kernel::Program;
+using kernel::Task;
+using sim::kMillisecond;
+using sim::kSecond;
+using tau::Profiler;
+using tau::TauConfig;
+
+MachineConfig quiet(std::uint32_t cpus = 2) {
+  MachineConfig cfg;
+  cfg.cpus = cpus;
+  cfg.ktau.charge_overhead = false;
+  cfg.wake_misplace_prob = 0.0;
+  cfg.smp_compute_dilation = 0.0;
+  return cfg;
+}
+
+TauConfig tau_quiet() {
+  TauConfig cfg;
+  cfg.charge_overhead = false;
+  return cfg;
+}
+
+double to_ms(sim::Cycles c, sim::FreqHz f) {
+  return static_cast<double>(c) / static_cast<double>(f) * 1e3;
+}
+
+TEST(Tau, NestedRoutinesInclusiveExclusive) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  Profiler prof(m, t, tau_quiet());
+  const auto f_main = prof.reg("main");
+  const auto f_inner = prof.reg("inner");
+
+  t.program = [](Profiler& p, tau::FuncId fm, tau::FuncId fi) -> Program {
+    p.enter(fm);
+    co_await Compute{10 * kMillisecond};
+    p.enter(fi);
+    co_await Compute{30 * kMillisecond};
+    p.exit(fi);
+    co_await Compute{10 * kMillisecond};
+    p.exit(fm);
+  }(prof, f_main, f_inner);
+  m.launch(t);
+  cluster.run();
+
+  const auto freq = m.config().freq;
+  EXPECT_EQ(prof.metrics(f_main).count, 1u);
+  EXPECT_EQ(prof.metrics(f_inner).count, 1u);
+  EXPECT_NEAR(to_ms(prof.metrics(f_main).incl, freq), 50.0, 1.0);
+  EXPECT_NEAR(to_ms(prof.metrics(f_main).excl, freq), 20.0, 1.0);
+  EXPECT_NEAR(to_ms(prof.metrics(f_inner).incl, freq), 30.0, 1.0);
+  EXPECT_EQ(prof.stack_depth(), 0u);
+}
+
+TEST(Tau, RegIsIdempotentAndFindWorks) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  Profiler prof(m, t);
+  const auto a = prof.reg("foo");
+  EXPECT_EQ(prof.reg("foo"), a);
+  EXPECT_EQ(prof.find("foo"), a);
+  EXPECT_THROW(prof.find("bar"), std::out_of_range);
+}
+
+TEST(Tau, UnbalancedExitThrows) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  Profiler prof(m, t, tau_quiet());
+  const auto fa = prof.reg("a");
+  const auto fb = prof.reg("b");
+  t.program = [](Profiler& p, tau::FuncId a, tau::FuncId b) -> Program {
+    p.enter(a);
+    co_await Compute{1 * kMillisecond};
+    p.exit(b);  // mismatched
+  }(prof, fa, fb);
+  m.launch(t);
+  EXPECT_THROW(cluster.run(), std::logic_error);
+}
+
+TEST(Tau, DisabledProfilerRecordsNothing) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  TauConfig cfg;
+  cfg.enabled = false;
+  Profiler prof(m, t, cfg);
+  const auto f = prof.reg("main");
+  t.program = [](Profiler& p, tau::FuncId fm) -> Program {
+    p.enter(fm);
+    co_await Compute{5 * kMillisecond};
+    p.exit(fm);
+  }(prof, f);
+  m.launch(t);
+  cluster.run();
+  EXPECT_EQ(prof.metrics(f).count, 0u);
+}
+
+TEST(Tau, UseOffTaskThrows) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  Profiler prof(m, t);
+  const auto f = prof.reg("main");
+  // The task is not running: enter must refuse.
+  EXPECT_THROW(prof.enter(f), std::logic_error);
+}
+
+TEST(Tau, UserRoutineTimeIncludesKernelActivityUntilMerged) {
+  // TAU's wall-clock-style user timing includes time spent in the kernel;
+  // the KTAU bridge row for the routine lets analysis subtract it
+  // (Figure 2-D's "true exclusive time").
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  Profiler prof(m, t, tau_quiet());
+  const auto f = prof.reg("worker");
+  t.program = [](Profiler& p, tau::FuncId fw) -> Program {
+    p.enter(fw);
+    co_await Compute{10 * kMillisecond};
+    co_await kernel::SleepFor{40 * kMillisecond};  // kernel + blocked time
+    p.exit(fw);
+  }(prof, f);
+  m.launch(t);
+  cluster.run();
+
+  const auto freq = m.config().freq;
+  // Raw TAU view: ~50 ms inclusive (10 compute + 40 sleeping).
+  EXPECT_NEAR(to_ms(prof.metrics(f).incl, freq), 50.0, 1.0);
+
+  // Bridge: kernel events attributed to user context "worker".
+  const auto user_ev = prof.ktau_event(f);
+  const auto sleep_ev = m.ktau().registry().find("sys_nanosleep");
+  const auto& bridge = m.ktau().reaped()[0].profile.bridge();
+  const auto it = bridge.find(meas::bridge_key(user_ev, sleep_ev));
+  ASSERT_NE(it, bridge.end());
+  EXPECT_EQ(it->second.count, 1u);
+  // The sys_nanosleep inclusive time (~40 ms) is the kernel share to
+  // subtract for the merged view.
+  EXPECT_NEAR(to_ms(it->second.incl, freq), 40.0, 1.5);
+}
+
+TEST(Tau, BridgeAttributesInterruptsToEnclosingUserPhase) {
+  // Timer interrupts during a compute phase land in the phase's bridge row:
+  // the mechanism Figure 9 uses to count TCP activity inside sweep().
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  Profiler prof(m, t, tau_quiet());
+  const auto f = prof.reg("compute_phase");
+  t.program = [](Profiler& p, tau::FuncId fc) -> Program {
+    p.enter(fc);
+    co_await Compute{1 * kSecond};
+    p.exit(fc);
+  }(prof, f);
+  m.launch(t);
+  cluster.run();
+
+  const auto user_ev = prof.ktau_event(f);
+  const auto tick_ev = m.ktau().registry().find("timer_interrupt");
+  const auto& bridge = m.ktau().reaped()[0].profile.bridge();
+  const auto it = bridge.find(meas::bridge_key(user_ev, tick_ev));
+  ASSERT_NE(it, bridge.end());
+  EXPECT_GE(it->second.count, 95u);  // ~100 ticks at HZ=100
+}
+
+TEST(Tau, TracingProducesBalancedEventLog) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(1));
+  Task& t = m.spawn("app");
+  TauConfig cfg = tau_quiet();
+  cfg.tracing = true;
+  Profiler prof(m, t, cfg);
+  const auto f = prof.reg("step");
+  t.program = [](Profiler& p, tau::FuncId fs) -> Program {
+    for (int i = 0; i < 5; ++i) {
+      p.enter(fs);
+      co_await Compute{2 * kMillisecond};
+      p.exit(fs);
+    }
+  }(prof, f);
+  m.launch(t);
+  cluster.run();
+
+  ASSERT_EQ(prof.trace().size(), 10u);
+  for (std::size_t i = 0; i + 1 < prof.trace().size(); ++i) {
+    EXPECT_LE(prof.trace()[i].timestamp, prof.trace()[i + 1].timestamp);
+  }
+  int depth = 0;
+  for (const auto& rec : prof.trace()) {
+    depth += rec.is_enter ? 1 : -1;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// ---------------------------------------------------------------------------
+// MPI layer
+// ---------------------------------------------------------------------------
+
+struct MpiEnv {
+  Cluster cluster;
+  std::unique_ptr<knet::Fabric> fabric;
+  std::unique_ptr<mpi::World> world;
+
+  MpiEnv(int nodes, std::vector<mpi::RankPlacement> placement) {
+    for (int n = 0; n < nodes; ++n) cluster.add_machine(quiet(2));
+    knet::NetConfig net;
+    net.latency_jitter_mean = 0;
+    fabric = std::make_unique<knet::Fabric>(cluster, net);
+    world = std::make_unique<mpi::World>(cluster, *fabric,
+                                         std::move(placement), "mpi");
+  }
+};
+
+TEST(Mpi, PingPongRoundTrips) {
+  MpiEnv env(2, {{0}, {1}});
+  mpi::World& w = *env.world;
+  constexpr int kRounds = 10;
+  w.task(0).program = [](mpi::World& w) -> Program {
+    for (int i = 0; i < kRounds; ++i) {
+      co_await w.send(0, 1, 1024);
+      co_await w.recv(0, 1, 1024);
+    }
+  }(w);
+  w.task(1).program = [](mpi::World& w) -> Program {
+    for (int i = 0; i < kRounds; ++i) {
+      co_await w.recv(1, 0, 1024);
+      co_await w.send(1, 0, 1024);
+    }
+  }(w);
+  w.launch_all();
+  env.cluster.run();
+
+  EXPECT_TRUE(w.task(0).exited);
+  EXPECT_TRUE(w.task(1).exited);
+  // Exactly kRounds messages each way.
+  EXPECT_EQ(env.fabric->stack(1).socket(0).bytes_received,
+            kRounds * (1024 + mpi::World::kHeaderBytes));
+}
+
+TEST(Mpi, RingPassesTokenThroughAllRanks) {
+  constexpr int kRanks = 8;
+  std::vector<mpi::RankPlacement> placement;
+  for (int r = 0; r < kRanks; ++r) {
+    placement.push_back({static_cast<kernel::NodeId>(r / 2),
+                         kernel::cpu_bit(r % 2)});
+  }
+  MpiEnv env(kRanks / 2, std::move(placement));
+  mpi::World& w = *env.world;
+  for (int r = 0; r < kRanks; ++r) {
+    w.task(r).program = [](mpi::World& w, int self) -> Program {
+      const int next = (self + 1) % w.size();
+      const int prev = (self + w.size() - 1) % w.size();
+      if (self == 0) {
+        co_await w.send(self, next, 4096);
+        co_await w.recv(self, prev, 4096);
+      } else {
+        co_await w.recv(self, prev, 4096);
+        co_await w.send(self, next, 4096);
+      }
+    }(w, r);
+  }
+  w.launch_all();
+  env.cluster.run();
+  for (int r = 0; r < kRanks; ++r) EXPECT_TRUE(w.task(r).exited) << r;
+  // Rank 0 finishes last (it waits for the full circuit).
+  for (int r = 1; r < kRanks; ++r) {
+    EXPECT_LE(w.task(r).end_time, w.task(0).end_time + sim::kMillisecond);
+  }
+}
+
+TEST(Mpi, AllreducePeersFormHypercube) {
+  MpiEnv env(1, {{0}});
+  const auto peers0 = env.world->allreduce_peers(0);
+  EXPECT_TRUE(peers0.empty());  // single rank
+
+  // Check a synthetic 8-rank world's schedule shape.
+  std::vector<mpi::RankPlacement> placement(8, mpi::RankPlacement{0});
+  MpiEnv env8(1, std::move(placement));
+  const auto p5 = env8.world->allreduce_peers(5);
+  EXPECT_EQ(p5, (std::vector<int>{4, 7, 1}));
+}
+
+TEST(Mpi, AllreduceExchangeCompletes) {
+  constexpr int kRanks = 8;
+  std::vector<mpi::RankPlacement> placement;
+  for (int r = 0; r < kRanks; ++r) {
+    placement.push_back({static_cast<kernel::NodeId>(r), kernel::kAllCpus});
+  }
+  MpiEnv env(kRanks, std::move(placement));
+  mpi::World& w = *env.world;
+  for (int r = 0; r < kRanks; ++r) {
+    w.task(r).program = [](mpi::World& w, int self) -> Program {
+      for (const int peer : w.allreduce_peers(self)) {
+        co_await w.send(self, peer, 64);
+        co_await w.recv(self, peer, 64);
+      }
+      co_await Compute{1 * kMillisecond};
+    }(w, r);
+  }
+  w.launch_all();
+  env.cluster.run();
+  for (int r = 0; r < kRanks; ++r) EXPECT_TRUE(w.task(r).exited) << r;
+  EXPECT_GT(w.job_completion(), 0u);
+}
+
+TEST(Mpi, RecvBlocksShowUpAsVoluntaryScheduling) {
+  // The core diagnostic mechanism of the paper's §5.2: a rank waiting in
+  // MPI_Recv accumulates voluntary scheduling time in its kernel profile.
+  MpiEnv env(2, {{0}, {1}});
+  mpi::World& w = *env.world;
+  w.recv_spin = 0;  // block immediately (no MPICH-style polling)
+  w.task(0).program = [](mpi::World& w) -> Program {
+    co_await Compute{300 * kMillisecond};  // make rank 1 wait
+    co_await w.send(0, 1, 1024);
+  }(w);
+  w.task(1).program = [](mpi::World& w) -> Program {
+    co_await w.recv(1, 0, 1024);
+  }(w);
+  w.launch_all();
+  env.cluster.run();
+
+  Machine& m1 = env.cluster.machine(1);
+  const auto vol = m1.ktau().registry().find("schedule_vol");
+  const auto& prof = m1.ktau().reaped()[0].profile;
+  const double sec = static_cast<double>(prof.metrics(vol).incl) /
+                     static_cast<double>(m1.config().freq);
+  EXPECT_NEAR(sec, 0.3, 0.01);
+}
+
+TEST(Mpi, SelfSendRejected) {
+  MpiEnv env(1, {{0}, {0}});
+  EXPECT_THROW(env.world->send(0, 0, 10), std::invalid_argument);
+  EXPECT_THROW(env.world->recv(1, 1, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ktau
