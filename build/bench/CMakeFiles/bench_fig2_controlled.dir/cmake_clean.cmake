@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_controlled.dir/bench_fig2_controlled.cpp.o"
+  "CMakeFiles/bench_fig2_controlled.dir/bench_fig2_controlled.cpp.o.d"
+  "bench_fig2_controlled"
+  "bench_fig2_controlled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

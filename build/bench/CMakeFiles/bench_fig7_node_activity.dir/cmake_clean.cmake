@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_node_activity.dir/bench_fig7_node_activity.cpp.o"
+  "CMakeFiles/bench_fig7_node_activity.dir/bench_fig7_node_activity.cpp.o.d"
+  "bench_fig7_node_activity"
+  "bench_fig7_node_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_node_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

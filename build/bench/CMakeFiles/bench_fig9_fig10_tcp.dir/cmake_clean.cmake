@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fig10_tcp.dir/bench_fig9_fig10_tcp.cpp.o"
+  "CMakeFiles/bench_fig9_fig10_tcp.dir/bench_fig9_fig10_tcp.cpp.o.d"
+  "bench_fig9_fig10_tcp"
+  "bench_fig9_fig10_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fig10_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_perturbation.dir/bench_table3_perturbation.cpp.o"
+  "CMakeFiles/bench_table3_perturbation.dir/bench_table3_perturbation.cpp.o.d"
+  "bench_table3_perturbation"
+  "bench_table3_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_irq.dir/adaptive_irq.cpp.o"
+  "CMakeFiles/adaptive_irq.dir/adaptive_irq.cpp.o.d"
+  "adaptive_irq"
+  "adaptive_irq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_irq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_slow_node.dir/diagnose_slow_node.cpp.o"
+  "CMakeFiles/diagnose_slow_node.dir/diagnose_slow_node.cpp.o.d"
+  "diagnose_slow_node"
+  "diagnose_slow_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_slow_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runktau_time.dir/runktau_time.cpp.o"
+  "CMakeFiles/runktau_time.dir/runktau_time.cpp.o.d"
+  "runktau_time"
+  "runktau_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runktau_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for runktau_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_mpi_send.dir/trace_mpi_send.cpp.o"
+  "CMakeFiles/trace_mpi_send.dir/trace_mpi_send.cpp.o.d"
+  "trace_mpi_send"
+  "trace_mpi_send.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_mpi_send.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("ktau")
+subdirs("kernel")
+subdirs("knet")
+subdirs("libktau")
+subdirs("tau")
+subdirs("kmpi")
+subdirs("analysis")
+subdirs("apps")
+subdirs("clients")
+subdirs("experiments")

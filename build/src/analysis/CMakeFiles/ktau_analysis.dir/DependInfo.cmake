@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/render.cpp" "src/analysis/CMakeFiles/ktau_analysis.dir/render.cpp.o" "gcc" "src/analysis/CMakeFiles/ktau_analysis.dir/render.cpp.o.d"
+  "/root/repo/src/analysis/traceexport.cpp" "src/analysis/CMakeFiles/ktau_analysis.dir/traceexport.cpp.o" "gcc" "src/analysis/CMakeFiles/ktau_analysis.dir/traceexport.cpp.o.d"
+  "/root/repo/src/analysis/views.cpp" "src/analysis/CMakeFiles/ktau_analysis.dir/views.cpp.o" "gcc" "src/analysis/CMakeFiles/ktau_analysis.dir/views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ktau/CMakeFiles/ktau_meas.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/ktau_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ktau_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ktau_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_analysis.dir/render.cpp.o"
+  "CMakeFiles/ktau_analysis.dir/render.cpp.o.d"
+  "CMakeFiles/ktau_analysis.dir/traceexport.cpp.o"
+  "CMakeFiles/ktau_analysis.dir/traceexport.cpp.o.d"
+  "CMakeFiles/ktau_analysis.dir/views.cpp.o"
+  "CMakeFiles/ktau_analysis.dir/views.cpp.o.d"
+  "libktau_analysis.a"
+  "libktau_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

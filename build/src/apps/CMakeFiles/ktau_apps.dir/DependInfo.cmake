@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/daemons.cpp" "src/apps/CMakeFiles/ktau_apps.dir/daemons.cpp.o" "gcc" "src/apps/CMakeFiles/ktau_apps.dir/daemons.cpp.o.d"
+  "/root/repo/src/apps/lmbench.cpp" "src/apps/CMakeFiles/ktau_apps.dir/lmbench.cpp.o" "gcc" "src/apps/CMakeFiles/ktau_apps.dir/lmbench.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/ktau_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/ktau_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/sweep3d.cpp" "src/apps/CMakeFiles/ktau_apps.dir/sweep3d.cpp.o" "gcc" "src/apps/CMakeFiles/ktau_apps.dir/sweep3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kmpi/CMakeFiles/ktau_kmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/ktau_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/knet/CMakeFiles/ktau_knet.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ktau_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ktau/CMakeFiles/ktau_meas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ktau_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_apps.dir/daemons.cpp.o"
+  "CMakeFiles/ktau_apps.dir/daemons.cpp.o.d"
+  "CMakeFiles/ktau_apps.dir/lmbench.cpp.o"
+  "CMakeFiles/ktau_apps.dir/lmbench.cpp.o.d"
+  "CMakeFiles/ktau_apps.dir/lu.cpp.o"
+  "CMakeFiles/ktau_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/ktau_apps.dir/sweep3d.cpp.o"
+  "CMakeFiles/ktau_apps.dir/sweep3d.cpp.o.d"
+  "libktau_apps.a"
+  "libktau_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_clients.dir/adaptd.cpp.o"
+  "CMakeFiles/ktau_clients.dir/adaptd.cpp.o.d"
+  "CMakeFiles/ktau_clients.dir/ktaud.cpp.o"
+  "CMakeFiles/ktau_clients.dir/ktaud.cpp.o.d"
+  "CMakeFiles/ktau_clients.dir/runktau.cpp.o"
+  "CMakeFiles/ktau_clients.dir/runktau.cpp.o.d"
+  "libktau_clients.a"
+  "libktau_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_experiments.dir/chiba.cpp.o"
+  "CMakeFiles/ktau_experiments.dir/chiba.cpp.o.d"
+  "CMakeFiles/ktau_experiments.dir/controlled.cpp.o"
+  "CMakeFiles/ktau_experiments.dir/controlled.cpp.o.d"
+  "CMakeFiles/ktau_experiments.dir/perturb.cpp.o"
+  "CMakeFiles/ktau_experiments.dir/perturb.cpp.o.d"
+  "libktau_experiments.a"
+  "libktau_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

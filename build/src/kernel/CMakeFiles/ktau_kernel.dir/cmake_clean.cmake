@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_kernel.dir/cluster.cpp.o"
+  "CMakeFiles/ktau_kernel.dir/cluster.cpp.o.d"
+  "CMakeFiles/ktau_kernel.dir/machine.cpp.o"
+  "CMakeFiles/ktau_kernel.dir/machine.cpp.o.d"
+  "libktau_kernel.a"
+  "libktau_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

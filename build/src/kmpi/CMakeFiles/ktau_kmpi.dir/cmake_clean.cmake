@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_kmpi.dir/world.cpp.o"
+  "CMakeFiles/ktau_kmpi.dir/world.cpp.o.d"
+  "libktau_kmpi.a"
+  "libktau_kmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_kmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knet/stack.cpp" "src/knet/CMakeFiles/ktau_knet.dir/stack.cpp.o" "gcc" "src/knet/CMakeFiles/ktau_knet.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/ktau_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ktau/CMakeFiles/ktau_meas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ktau_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

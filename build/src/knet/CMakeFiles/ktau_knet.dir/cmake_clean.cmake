@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_knet.dir/stack.cpp.o"
+  "CMakeFiles/ktau_knet.dir/stack.cpp.o.d"
+  "libktau_knet.a"
+  "libktau_knet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_knet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

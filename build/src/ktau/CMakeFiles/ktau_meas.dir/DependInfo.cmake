@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ktau/events.cpp" "src/ktau/CMakeFiles/ktau_meas.dir/events.cpp.o" "gcc" "src/ktau/CMakeFiles/ktau_meas.dir/events.cpp.o.d"
+  "/root/repo/src/ktau/procfs.cpp" "src/ktau/CMakeFiles/ktau_meas.dir/procfs.cpp.o" "gcc" "src/ktau/CMakeFiles/ktau_meas.dir/procfs.cpp.o.d"
+  "/root/repo/src/ktau/profile.cpp" "src/ktau/CMakeFiles/ktau_meas.dir/profile.cpp.o" "gcc" "src/ktau/CMakeFiles/ktau_meas.dir/profile.cpp.o.d"
+  "/root/repo/src/ktau/snapshot.cpp" "src/ktau/CMakeFiles/ktau_meas.dir/snapshot.cpp.o" "gcc" "src/ktau/CMakeFiles/ktau_meas.dir/snapshot.cpp.o.d"
+  "/root/repo/src/ktau/system.cpp" "src/ktau/CMakeFiles/ktau_meas.dir/system.cpp.o" "gcc" "src/ktau/CMakeFiles/ktau_meas.dir/system.cpp.o.d"
+  "/root/repo/src/ktau/trace.cpp" "src/ktau/CMakeFiles/ktau_meas.dir/trace.cpp.o" "gcc" "src/ktau/CMakeFiles/ktau_meas.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ktau_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

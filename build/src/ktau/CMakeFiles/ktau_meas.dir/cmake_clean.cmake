@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_meas.dir/events.cpp.o"
+  "CMakeFiles/ktau_meas.dir/events.cpp.o.d"
+  "CMakeFiles/ktau_meas.dir/procfs.cpp.o"
+  "CMakeFiles/ktau_meas.dir/procfs.cpp.o.d"
+  "CMakeFiles/ktau_meas.dir/profile.cpp.o"
+  "CMakeFiles/ktau_meas.dir/profile.cpp.o.d"
+  "CMakeFiles/ktau_meas.dir/snapshot.cpp.o"
+  "CMakeFiles/ktau_meas.dir/snapshot.cpp.o.d"
+  "CMakeFiles/ktau_meas.dir/system.cpp.o"
+  "CMakeFiles/ktau_meas.dir/system.cpp.o.d"
+  "CMakeFiles/ktau_meas.dir/trace.cpp.o"
+  "CMakeFiles/ktau_meas.dir/trace.cpp.o.d"
+  "libktau_meas.a"
+  "libktau_meas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_meas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_libktau.dir/libktau.cpp.o"
+  "CMakeFiles/ktau_libktau.dir/libktau.cpp.o.d"
+  "libktau_libktau.a"
+  "libktau_libktau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_libktau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

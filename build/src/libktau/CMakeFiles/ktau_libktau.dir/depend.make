@@ -1,0 +1,2 @@
+# Empty dependencies file for ktau_libktau.
+# This may be replaced when dependencies are built.

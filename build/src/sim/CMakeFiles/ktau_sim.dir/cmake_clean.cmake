@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_sim.dir/engine.cpp.o"
+  "CMakeFiles/ktau_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ktau_sim.dir/stats.cpp.o"
+  "CMakeFiles/ktau_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/ktau_sim.dir/time.cpp.o"
+  "CMakeFiles/ktau_sim.dir/time.cpp.o.d"
+  "libktau_sim.a"
+  "libktau_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

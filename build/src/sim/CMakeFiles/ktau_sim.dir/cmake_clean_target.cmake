@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libktau_sim.a"
+)

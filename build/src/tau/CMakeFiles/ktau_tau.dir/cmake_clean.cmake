@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktau_tau.dir/export.cpp.o"
+  "CMakeFiles/ktau_tau.dir/export.cpp.o.d"
+  "CMakeFiles/ktau_tau.dir/profiler.cpp.o"
+  "CMakeFiles/ktau_tau.dir/profiler.cpp.o.d"
+  "libktau_tau.a"
+  "libktau_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktau_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptd.dir/test_adaptd.cpp.o"
+  "CMakeFiles/test_adaptd.dir/test_adaptd.cpp.o.d"
+  "test_adaptd"
+  "test_adaptd.pdb"
+  "test_adaptd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_clients.dir/test_apps_clients.cpp.o"
+  "CMakeFiles/test_apps_clients.dir/test_apps_clients.cpp.o.d"
+  "test_apps_clients"
+  "test_apps_clients.pdb"
+  "test_apps_clients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_callpath_export.dir/test_callpath_export.cpp.o"
+  "CMakeFiles/test_callpath_export.dir/test_callpath_export.cpp.o.d"
+  "test_callpath_export"
+  "test_callpath_export.pdb"
+  "test_callpath_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_callpath_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/test_experiments.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/test_experiments.dir/test_experiments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/ktau_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ktau_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmpi/CMakeFiles/ktau_kmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/knet/CMakeFiles/ktau_knet.dir/DependInfo.cmake"
+  "/root/repo/build/src/clients/CMakeFiles/ktau_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/libktau/CMakeFiles/ktau_libktau.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ktau_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tau/CMakeFiles/ktau_tau.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ktau_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ktau/CMakeFiles/ktau_meas.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ktau_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

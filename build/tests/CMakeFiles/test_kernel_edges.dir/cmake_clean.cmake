@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_edges.dir/test_kernel_edges.cpp.o"
+  "CMakeFiles/test_kernel_edges.dir/test_kernel_edges.cpp.o.d"
+  "test_kernel_edges"
+  "test_kernel_edges.pdb"
+  "test_kernel_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knet.dir/test_knet.cpp.o"
+  "CMakeFiles/test_knet.dir/test_knet.cpp.o.d"
+  "test_knet"
+  "test_knet.pdb"
+  "test_knet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

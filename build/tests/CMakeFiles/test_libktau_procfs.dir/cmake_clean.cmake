@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_libktau_procfs.dir/test_libktau_procfs.cpp.o"
+  "CMakeFiles/test_libktau_procfs.dir/test_libktau_procfs.cpp.o.d"
+  "test_libktau_procfs"
+  "test_libktau_procfs.pdb"
+  "test_libktau_procfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_libktau_procfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_recv.dir/test_spin_recv.cpp.o"
+  "CMakeFiles/test_spin_recv.dir/test_spin_recv.cpp.o.d"
+  "test_spin_recv"
+  "test_spin_recv.pdb"
+  "test_spin_recv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_recv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

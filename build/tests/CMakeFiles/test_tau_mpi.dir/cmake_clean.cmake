@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tau_mpi.dir/test_tau_mpi.cpp.o"
+  "CMakeFiles/test_tau_mpi.dir/test_tau_mpi.cpp.o.d"
+  "test_tau_mpi"
+  "test_tau_mpi.pdb"
+  "test_tau_mpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tau_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traceexport.dir/test_traceexport.cpp.o"
+  "CMakeFiles/test_traceexport.dir/test_traceexport.cpp.o.d"
+  "test_traceexport"
+  "test_traceexport.pdb"
+  "test_traceexport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traceexport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_knet[1]_include.cmake")
+include("/root/repo/build/tests/test_tau_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_libktau_procfs[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_clients[1]_include.cmake")
+include("/root/repo/build/tests/test_experiments[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_spin_recv[1]_include.cmake")
+include("/root/repo/build/tests/test_callpath_export[1]_include.cmake")
+include("/root/repo/build/tests/test_traceexport[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptd[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_views[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_edges[1]_include.cmake")
