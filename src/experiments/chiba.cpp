@@ -300,6 +300,7 @@ ChibaRunResult run_chiba(const ChibaRunConfig& cfg) {
   result.cfg = cfg;
   result.exec_sec =
       static_cast<double>(world.job_completion()) / sim::kSecond;
+  result.engine_events = cluster.engine().executed();
 
   // Harvest per-node snapshots through the real extraction path.
   const Topology& topo = run.topo;

@@ -109,6 +109,9 @@ struct RankStats {
 struct ChibaRunResult {
   ChibaRunConfig cfg;
   double exec_sec = 0;  // job completion (simulated seconds)
+  /// Discrete events the engine executed for the whole run (simulator
+  /// throughput metric; also feeds the determinism regression checksum).
+  std::uint64_t engine_events = 0;
   std::vector<RankStats> ranks;
   /// Full node snapshot of the anomaly node (node 61) for Figure 7, and of
   /// node 0 otherwise.

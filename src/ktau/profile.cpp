@@ -29,7 +29,16 @@ void AtomicMetrics::merge(const AtomicMetrics& o) {
 }
 
 EventMetrics& TaskProfile::slot(EventId ev) {
-  if (ev >= events_.size()) events_.resize(ev + 1);
+  if (ev >= events_.size()) {
+    // Grow capacity geometrically so the probe path amortizes to zero
+    // allocations, but keep size() exact: consumers index the registry by
+    // row position and must not see rows beyond the highest fired id.
+    if (ev >= events_.capacity()) {
+      events_.reserve(
+          std::max<std::size_t>(ev + 1, events_.capacity() * 2));
+    }
+    events_.resize(ev + 1);
+  }
   return events_[ev];
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ktau/events.hpp"
+#include "ktau/metrics_map.hpp"
 #include "ktau/trace.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -57,6 +58,9 @@ struct AtomicMetrics {
 constexpr std::uint64_t bridge_key(EventId user_ev, EventId kernel_ev) {
   return (static_cast<std::uint64_t>(user_ev) << 32) | kernel_ev;
 }
+
+/// Probe-hot-path map type for the bridge matrix and call-path edges.
+using MetricsMap = FlatKeyMap<EventMetrics>;
 
 /// Parent id used for call-path edges of events entered at stack depth 0.
 inline constexpr EventId kCallpathRoot = 0xFFFFFFFEu;
@@ -107,9 +111,7 @@ class TaskProfile {
 
   /// (user event << 32 | kernel event) -> accumulated kernel metrics that
   /// occurred while the user event was the process's user context.
-  const std::unordered_map<std::uint64_t, EventMetrics>& bridge() const {
-    return bridge_;
-  }
+  const MetricsMap& bridge() const { return bridge_; }
 
   // -- call-path profiling (paper §6 future work: "merged user-kernel
   //    call-graph profiles") -----------------------------------------------
@@ -121,9 +123,7 @@ class TaskProfile {
 
   /// (parent event << 32 | child event) -> metrics of the child when
   /// invoked under that parent; parent is kCallpathRoot at depth 0.
-  const std::unordered_map<std::uint64_t, EventMetrics>& edges() const {
-    return edges_;
-  }
+  const MetricsMap& edges() const { return edges_; }
 
   // -- tracing --------------------------------------------------------------
 
@@ -146,9 +146,9 @@ class TaskProfile {
   std::vector<EventMetrics> events_;
   std::vector<Frame> stack_;
   std::unordered_map<EventId, AtomicMetrics> atomics_;
-  std::unordered_map<std::uint64_t, EventMetrics> bridge_;
+  MetricsMap bridge_;
   bool callpath_ = false;
-  std::unordered_map<std::uint64_t, EventMetrics> edges_;
+  MetricsMap edges_;
   EventId user_context_ = kNoEventId;
   std::unique_ptr<TraceBuffer> trace_;
 };

@@ -1,0 +1,149 @@
+// Small-buffer-optimized move-only callable for the event engine.
+//
+// Every scheduled event used to carry a std::function<void()>, whose
+// capture allocation dominated Engine::schedule_at.  The engine's callbacks
+// are almost all small lambdas (a `this` pointer plus a couple of
+// references / integers), so InlineCallback stores up to kInlineSize bytes
+// of capture in place and only falls back to the heap for oversized or
+// potentially-throwing-move callables.  The hot schedule/fire path is
+// therefore allocation-free in steady state.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ktau::sim {
+
+class InlineCallback {
+ public:
+  /// Inline capture capacity.  48 bytes holds a `this` pointer plus five
+  /// word-sized captures — every scheduler/IRQ/packet lambda in the tree —
+  /// and keeps the whole callback within one cache line alongside its
+  /// dispatch pointer.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InlineCallback() noexcept = default;
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(o);
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      if (o.ops_ != nullptr) {
+        ops_ = o.ops_;
+        relocate_from(o);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Destroys the current callable (if any) and constructs `f` in place —
+  /// the engine uses this to build callbacks directly inside event slots,
+  /// skipping a relocation per schedule.
+  template <typename F>
+  void emplace(F&& f) {
+    static_assert(std::is_invocable_r_v<void, std::decay_t<F>&>);
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type F is stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+ private:
+  /// relocate == nullptr means "memcpy the storage" and destroy == nullptr
+  /// means "no-op" — trivially copyable captures (a this pointer plus
+  /// scalars, i.e. nearly every event in the tree) move and die with zero
+  /// indirect calls.
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  void relocate_from(InlineCallback& o) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(o.storage_, storage_);
+    } else {
+      std::memcpy(storage_, o.storage_, kInlineSize);
+    }
+  }
+
+  template <typename F>
+  static F* as(void* p) noexcept {
+    return std::launder(reinterpret_cast<F*>(p));
+  }
+
+  template <typename F>
+  static constexpr bool kTrivialInline =
+      std::is_trivially_copyable_v<F> && std::is_trivially_destructible_v<F>;
+
+  template <typename F>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*as<F>(p))(); },
+      kTrivialInline<F> ? nullptr
+                        : +[](void* from, void* to) noexcept {
+                            ::new (to) F(std::move(*as<F>(from)));
+                            as<F>(from)->~F();
+                          },
+      kTrivialInline<F> ? nullptr
+                        : +[](void* p) noexcept { as<F>(p)->~F(); },
+  };
+
+  template <typename F>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**as<F*>(p))(); },
+      nullptr,  // pointer payload: memcpy relocates it
+      [](void* p) noexcept { delete *as<F*>(p); },
+  };
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ktau::sim

@@ -5,40 +5,106 @@
 
 namespace ktau::sim {
 
-EventId Engine::schedule_at(TimeNs t, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push_back(Record{std::max(t, now_), id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  return id;
+namespace {
+
+constexpr std::uint32_t handle_slot(EventId id) {
+  return static_cast<std::uint32_t>(id) - 1;
+}
+
+constexpr std::uint32_t handle_gen(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNullPos) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = pos_[idx];
+    return idx;
+  }
+  gen_.push_back(0);
+  pos_.push_back(kNullPos);
+  cb_.emplace_back();
+  return static_cast<std::uint32_t>(gen_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t idx) {
+  ++gen_[idx];  // invalidate all outstanding handles to this slot
+  pos_[idx] = free_head_;
+  free_head_ = idx;
+}
+
+void Engine::sift_up(std::uint32_t pos) {
+  const HeapEntry moving = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    if (!earlier(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos_[heap_[pos].slot] = pos;
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  pos_[moving.slot] = pos;
+}
+
+void Engine::sift_down(std::uint32_t pos) {
+  const auto n = static_cast<std::uint32_t>(heap_.size());
+  const HeapEntry moving = heap_[pos];
+  for (;;) {
+    const std::uint32_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::uint32_t best = first;
+    const std::uint32_t last = std::min(first + 4, n);
+    for (std::uint32_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    pos_[heap_[pos].slot] = pos;
+    pos = best;
+  }
+  heap_[pos] = moving;
+  pos_[moving.slot] = pos;
+}
+
+void Engine::heap_remove(std::uint32_t pos) {
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  heap_.pop_back();
+  if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) >> 2])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
 }
 
 void Engine::cancel(EventId id) {
-  if (id == kNoEvent || id >= next_id_) return;
-  cancelled_.insert(id);
-}
-
-bool Engine::pop_next(Record& out) {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Record rec = std::move(heap_.back());
-    heap_.pop_back();
-    const auto it = cancelled_.find(rec.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    out = std::move(rec);
-    return true;
-  }
-  return false;
+  if (id == kNoEvent) return;
+  const std::uint32_t idx = handle_slot(id);
+  if (idx >= gen_.size()) return;
+  // A stale generation means the event already fired (or the slot was
+  // reused by a later event): a true no-op either way.  A live generation
+  // implies the event is still in the heap (gen_ bumps on release).
+  if (gen_[idx] != handle_gen(id)) return;
+  heap_remove(pos_[idx]);
+  cb_[idx].reset();  // release captured state now, not at slot reuse
+  release_slot(idx);
 }
 
 bool Engine::step() {
-  Record rec;
-  if (!pop_next(rec)) return false;
-  now_ = rec.time;
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_[0];
+  now_ = top.time;
   ++executed_;
-  rec.cb();
+  Callback cb = std::move(cb_[top.slot]);  // cb() may grow/realloc cb_
+  heap_remove(0);
+  release_slot(top.slot);  // before cb(): self-cancel no-ops, slot reusable
+  cb();
   return true;
 }
 
@@ -48,19 +114,7 @@ void Engine::run() {
 }
 
 void Engine::run_until(TimeNs t) {
-  while (!heap_.empty()) {
-    Record rec;
-    if (!pop_next(rec)) break;
-    if (rec.time > t) {
-      // Put it back; it belongs to the future beyond the horizon.
-      heap_.push_back(std::move(rec));
-      std::push_heap(heap_.begin(), heap_.end(), Later{});
-      break;
-    }
-    now_ = rec.time;
-    ++executed_;
-    rec.cb();
-  }
+  while (!heap_.empty() && heap_[0].time <= t) step();
   now_ = std::max(now_, t);
 }
 

@@ -2,6 +2,10 @@
 // cancellation, horizon semantics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <random>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -162,6 +166,145 @@ TEST(Engine, StepReturnsFalseWhenEmpty) {
   e.schedule_at(10, [] {});
   EXPECT_TRUE(e.step());
   EXPECT_FALSE(e.step());
+}
+
+// Regression: the seed engine recorded cancel-after-fire ids in its
+// tombstone set forever, permanently skewing pending().  A fired event's
+// handle must be a true no-op to cancel, and pending() must stay exact.
+TEST(Engine, CancelAfterFireIsNoOpAndKeepsPendingExact) {
+  Engine e;
+  const EventId fired = e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  e.cancel(fired);  // already ran: must not disturb anything
+  EXPECT_EQ(e.pending(), 0u);
+  e.schedule_at(20, [] {});
+  e.schedule_at(30, [] {});
+  EXPECT_EQ(e.pending(), 2u);  // seed engine reported 1 here
+  e.run();
+  EXPECT_EQ(e.executed(), 3u);
+}
+
+// A handle whose slot was reused by a later event must not cancel the new
+// occupant (generation tag mismatch).
+TEST(Engine, StaleHandleDoesNotCancelSlotReuse) {
+  Engine e;
+  const EventId old_id = e.schedule_at(10, [] {});
+  e.run();  // fires; slot goes back on the free list
+  bool ran = false;
+  const EventId new_id = e.schedule_after(10, [&] { ran = true; });
+  EXPECT_NE(old_id, new_id);
+  e.cancel(old_id);  // stale generation: must not touch the new event
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+// An event cancelling its own handle while running must be a no-op (the
+// handle is already spent by the time the callback executes).
+TEST(Engine, SelfCancelDuringCallbackIsNoOp) {
+  Engine e;
+  EventId self = kNoEvent;
+  bool ran = false;
+  self = e.schedule_at(10, [&] {
+    ran = true;
+    e.cancel(self);
+  });
+  e.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(e.executed(), 1u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+// Cancelling from inside a callback an event that has not yet fired.
+TEST(Engine, CallbackCancelsLaterEvent) {
+  Engine e;
+  bool victim_ran = false;
+  const EventId victim = e.schedule_at(20, [&] { victim_ran = true; });
+  e.schedule_at(10, [&] { e.cancel(victim); });
+  e.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(e.executed(), 1u);
+}
+
+// Randomized stress against a naive reference model: same fixed-seed
+// operation sequence applied to the engine and to a sorted-list model must
+// produce the same execution order and the same pending count throughout.
+TEST(Engine, StressMatchesReferenceModel) {
+  // Tags are assigned in schedule order, so tag doubles as the FIFO
+  // sequence number of the reference model.
+  struct RefEvent {
+    TimeNs time;
+    int tag;
+    bool cancelled;
+  };
+  Engine e;
+  std::vector<RefEvent> ref;
+  std::vector<int> engine_order;  // tags in engine execution order
+  std::vector<char> fired;        // indexed by tag
+  std::vector<EventId> handles;   // indexed by tag
+  std::size_t ref_pending = 0;
+  std::size_t seen = 0;  // prefix of engine_order already accounted
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 5000; ++round) {
+    const auto op = rng() % 4;
+    if (op < 2) {  // schedule
+      const TimeNs t = e.now() + rng() % 500;
+      const int tag = static_cast<int>(ref.size());
+      handles.push_back(e.schedule_at(t, [&engine_order, tag] {
+        engine_order.push_back(tag);
+      }));
+      ref.push_back(RefEvent{t, tag, false});
+      fired.push_back(0);
+      ++ref_pending;
+    } else if (op == 2 && !handles.empty()) {  // cancel a random handle
+      const std::size_t pick = rng() % handles.size();
+      e.cancel(handles[pick]);
+      // Reference: the cancel only counts if the event has not fired and
+      // was not already cancelled — anything else is a no-op.
+      if (fired[pick] == 0 && !ref[pick].cancelled) {
+        ref[pick].cancelled = true;
+        --ref_pending;
+      }
+    } else {  // step
+      e.step();
+    }
+    for (; seen < engine_order.size(); ++seen) {
+      fired[static_cast<std::size_t>(engine_order[seen])] = 1;
+      --ref_pending;
+    }
+    ASSERT_EQ(e.pending(), ref_pending) << "round " << round;
+  }
+  e.run();
+  // Expected order: surviving reference events sorted by (time, tag).
+  std::vector<RefEvent> live;
+  for (const auto& r : ref) {
+    if (!r.cancelled) live.push_back(r);
+  }
+  std::sort(live.begin(), live.end(), [](const RefEvent& a, const RefEvent& b) {
+    return a.time != b.time ? a.time < b.time : a.tag < b.tag;
+  });
+  std::vector<int> expected;
+  for (const auto& r : live) expected.push_back(r.tag);
+  EXPECT_EQ(engine_order, expected);
+}
+
+// Oversized captures (> InlineCallback::kInlineSize) must still work via the
+// heap fallback, including cancellation releasing the capture.
+TEST(Engine, OversizedCaptureFallsBackToHeapAndRuns) {
+  Engine e;
+  std::array<std::uint64_t, 16> big{};  // 128 bytes: over the inline limit
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i + 1;
+  std::uint64_t sum = 0;
+  e.schedule_at(10, [big, &sum] {
+    for (const auto v : big) sum += v;
+  });
+  static_assert(!InlineCallback::fits_inline<
+                std::array<std::uint64_t, 17>>);  // sanity on the limit
+  const EventId doomed = e.schedule_at(20, [big] { (void)big; });
+  e.cancel(doomed);  // must free the heap capture, not leak it
+  e.run();
+  EXPECT_EQ(sum, 136u);
 }
 
 }  // namespace
