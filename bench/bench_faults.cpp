@@ -1,0 +1,109 @@
+// Fault-injection scenario shapes (DESIGN.md §7): one degraded node inside
+// a healthy 64x2 cluster, faults drawn from a seeded FaultPlan.
+//
+// Shape checks (PASS/FAIL lines; exit code = number of FAILs):
+//   - determinism: same config + seed => bit-identical fault schedule and
+//     run results across two back-to-back scenario runs;
+//   - a clean run injects nothing at all;
+//   - the victim node's injected-interference time dominates every healthy
+//     node's in the kernel-wide view (how a degraded node is spotted);
+//   - the steal_interference KTAU event's inclusive time agrees with what
+//     the plan injected (bursts x duration) within a band;
+//   - packet loss actually produces retransmissions, and the fault mix
+//     degrades end-to-end execution time.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "experiments/faults.hpp"
+
+using namespace ktau;
+using namespace ktau::expt;
+
+namespace {
+
+int failures = 0;
+
+void check(const char* what, bool ok) {
+  std::printf("%s: %s\n", what, ok ? "PASS" : "FAIL");
+  if (!ok) ++failures;
+}
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+bool same_totals(const sim::FaultPlan::Totals& a,
+                 const sim::FaultPlan::Totals& b) {
+  return a.segments_dropped == b.segments_dropped &&
+         a.segments_reordered == b.segments_reordered &&
+         a.retransmits == b.retransmits && a.storm_irqs == b.storm_irqs &&
+         a.steal_bursts == b.steal_bursts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.05);
+  bench::print_header(
+      "Fault injection: degraded node in a healthy 64x2 LU cluster", scale);
+
+  FaultScenarioConfig cfg;
+  cfg.scale = scale;
+  const FaultScenarioResult a = run_fault_scenario(cfg);
+  const FaultScenarioResult b = run_fault_scenario(cfg);
+
+  const auto& t = a.faulted.fault_totals;
+  std::printf("\nclean exec %.3f s | faulted exec %.3f s\n", a.clean.exec_sec,
+              a.faulted.exec_sec);
+  std::printf("injected: %llu drops, %llu reorders, %llu retransmits, "
+              "%llu storm IRQs, %llu steal bursts\n",
+              static_cast<unsigned long long>(t.segments_dropped),
+              static_cast<unsigned long long>(t.segments_reordered),
+              static_cast<unsigned long long>(t.retransmits),
+              static_cast<unsigned long long>(t.storm_irqs),
+              static_cast<unsigned long long>(t.steal_bursts));
+  std::printf("victim node %u interference %.3f s | worst healthy node "
+              "%.3f s\n",
+              a.victim, a.victim_interference_sec,
+              a.max_other_interference_sec);
+  std::printf("steal time: injected %.3f s, measured %.3f s\n\n",
+              a.injected_steal_sec, a.measured_steal_sec);
+
+  check("same seed => identical fault schedule",
+        same_totals(a.faulted.fault_totals, b.faulted.fault_totals) &&
+            a.faulted.engine_events == b.faulted.engine_events &&
+            same_bits(a.faulted.exec_sec, b.faulted.exec_sec) &&
+            same_bits(a.victim_interference_sec, b.victim_interference_sec));
+
+  const auto& ct = a.clean.fault_totals;
+  bool clean_quiet = ct.segments_dropped == 0 && ct.segments_reordered == 0 &&
+                     ct.retransmits == 0 && ct.storm_irqs == 0 &&
+                     ct.steal_bursts == 0;
+  for (double sec : a.clean.node_interference_sec) {
+    clean_quiet = clean_quiet && sec == 0.0;
+  }
+  check("clean run injects nothing", clean_quiet);
+
+  check("victim stands out in kernel-wide view",
+        a.victim_interference_sec > 0.0 &&
+            a.victim_interference_sec > 5.0 * a.max_other_interference_sec);
+
+  // Measured inclusive time sits at or slightly above the injected cycles
+  // (probe cost inside the handler event rides along).
+  const double ratio = a.injected_steal_sec > 0
+                           ? a.measured_steal_sec / a.injected_steal_sec
+                           : 0.0;
+  std::printf("steal measured/injected ratio: %.3f\n", ratio);
+  check("steal interference inflates victim inclusive time within band",
+        ratio > 0.9 && ratio < 1.6);
+
+  check("packet loss recovered by retransmission",
+        t.segments_dropped > 0 && t.retransmits > 0);
+
+  check("fault mix degrades execution time",
+        a.faulted.exec_sec > a.clean.exec_sec);
+
+  std::printf("\n%d failure(s)\n", failures);
+  return failures;
+}

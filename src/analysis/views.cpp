@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "sim/fault.hpp"
+
 namespace ktau::analysis {
 
 namespace {
@@ -207,6 +209,40 @@ NamedMetrics named_metrics(const meas::ProfileSnapshot& snap,
     out.excl_sec += to_sec(ev.excl, snap.cpu_freq);
   }
   return out;
+}
+
+std::vector<EventRow> interference_events(const meas::ProfileSnapshot& snap) {
+  constexpr std::string_view kFaultEvents[] = {
+      sim::kStormIrqEvent, sim::kStealEvent, sim::kTcpRetxEvent};
+  std::vector<EventRow> rows;
+  for (const std::string_view name : kFaultEvents) {
+    EventRow row;
+    row.name = std::string(name);
+    for (const auto& task : snap.tasks) {
+      const NamedMetrics m = named_metrics(snap, task, name);
+      row.count += m.count;
+      row.incl_sec += m.incl_sec;
+      row.excl_sec += m.excl_sec;
+    }
+    if (row.count == 0) continue;  // event not registered / never fired
+    for (const auto& e : snap.events) {
+      if (e.name == name) {
+        row.group = e.group;
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const EventRow& a, const EventRow& b) {
+    return a.incl_sec > b.incl_sec;
+  });
+  return rows;
+}
+
+double interference_seconds(const meas::ProfileSnapshot& snap) {
+  double total = 0.0;
+  for (const EventRow& row : interference_events(snap)) total += row.incl_sec;
+  return total;
 }
 
 }  // namespace ktau::analysis

@@ -110,4 +110,17 @@ NamedMetrics named_metrics(const meas::ProfileSnapshot& snap,
                            const meas::TaskProfileData& task,
                            std::string_view event_name);
 
+/// Injected-fault activity visible in one node's snapshot: the per-event
+/// totals of the fault instrumentation points (sim/fault.hpp — IRQ storms,
+/// stolen-cycle bursts, TCP retransmission timers) summed over every task.
+/// Healthy nodes have no such events registered, so comparing this across
+/// a cluster's snapshots makes degraded nodes stand out in the kernel-wide
+/// view.  Sorted by inclusive seconds, descending.
+std::vector<EventRow> interference_events(const meas::ProfileSnapshot& snap);
+
+/// Total inclusive seconds of the above (0.0 for a healthy node).  The
+/// fault events never nest within each other, so summing inclusive time
+/// does not double-count.
+double interference_seconds(const meas::ProfileSnapshot& snap);
+
 }  // namespace ktau::analysis

@@ -6,6 +6,7 @@
 
 #include "analysis/views.hpp"
 #include "apps/daemons.hpp"
+#include "kernel/faults.hpp"
 #include "libktau/libktau.hpp"
 
 namespace ktau::expt {
@@ -104,7 +105,9 @@ void grid_for(int ranks, int& px, int& py) {
 
 struct BuiltRun {
   std::unique_ptr<kernel::Cluster> cluster;
+  std::unique_ptr<sim::FaultPlan> faults;  // before fabric: fabric points at it
   std::unique_ptr<knet::Fabric> fabric;
+  std::vector<std::unique_ptr<kernel::NodeFaultInjector>> injectors;
   std::unique_ptr<mpi::World> world;
   std::unique_ptr<apps::LuApp> lu;
   std::unique_ptr<apps::SweepApp> sweep;
@@ -122,6 +125,10 @@ BuiltRun build(const ChibaRunConfig& cfg) {
 
   run.cluster = std::make_unique<kernel::Cluster>();
   const kernel::NodeId anomaly = anomaly_node_for(topo.nodes);
+  if (cfg.faults.any()) {
+    run.faults = std::make_unique<sim::FaultPlan>(
+        cfg.faults, static_cast<std::uint32_t>(topo.nodes));
+  }
 
   tau::TauConfig tau_cfg;
   for (int n = 0; n < topo.nodes; ++n) {
@@ -141,6 +148,10 @@ BuiltRun build(const ChibaRunConfig& cfg) {
       mc.smp_compute_dilation = *cfg.smp_dilation_override;
     }
     if (cfg.tracing) mc.ktau.tracing = true;
+    if (cfg.faults.slowdown_active() &&
+        cfg.faults.is_victim(static_cast<std::uint32_t>(n))) {
+      mc.fault_slowdown = cfg.faults.slowdown;
+    }
     apply_perturb(cfg.perturb, mc.ktau, tau_cfg);
     run.cluster->add_machine(mc);
   }
@@ -150,7 +161,19 @@ BuiltRun build(const ChibaRunConfig& cfg) {
   if (cfg.tcp_cache_penalty_override) {
     net.tcp_rcv_cache_penalty = *cfg.tcp_cache_penalty_override;
   }
-  run.fabric = std::make_unique<knet::Fabric>(*run.cluster, net);
+  run.fabric = std::make_unique<knet::Fabric>(*run.cluster, net,
+                                              run.faults.get());
+
+  if (run.faults != nullptr && cfg.faults.interference_active()) {
+    // One injector per victim node, constructed after the machines and
+    // their drivers so the fault events land at the end of each victim's
+    // event registry (healthy nodes' registries stay untouched).
+    for (int n = 0; n < topo.nodes; ++n) {
+      if (!cfg.faults.is_victim(static_cast<std::uint32_t>(n))) continue;
+      run.injectors.push_back(std::make_unique<kernel::NodeFaultInjector>(
+          run.cluster->machine(n), *run.faults));
+    }
+  }
 
   std::vector<mpi::RankPlacement> placement;
   placement.reserve(cfg.ranks);
@@ -272,6 +295,10 @@ kernel::NodeId chiba_node_of_rank(ChibaConfig config, int rank, int ranks) {
   return static_cast<kernel::NodeId>(rank % topo.nodes);
 }
 
+int chiba_node_count(ChibaConfig config, int ranks) {
+  return topology_of(config, ranks).nodes;
+}
+
 ChibaRunResult run_chiba(const ChibaRunConfig& cfg) {
   BuiltRun run = build(cfg);
   kernel::Cluster& cluster = *run.cluster;
@@ -318,14 +345,28 @@ ChibaRunResult run_chiba(const ChibaRunConfig& cfg) {
   result.overhead_samples = start_oh.count();
   result.overhead_start_mean = start_oh.mean();
   result.overhead_start_stddev = start_oh.stddev();
-  result.overhead_start_min = start_oh.min();
+  result.overhead_start_min = start_oh.empty() ? 0.0 : start_oh.min();
   result.overhead_stop_mean = stop_oh.mean();
   result.overhead_stop_stddev = stop_oh.stddev();
-  result.overhead_stop_min = stop_oh.min();
+  result.overhead_stop_min = stop_oh.empty() ? 0.0 : stop_oh.min();
+
+  if (run.faults != nullptr) result.fault_totals = run.faults->totals();
+  result.node_interference_sec.reserve(snaps.size());
+  for (const auto& snap : snaps) {
+    result.node_interference_sec.push_back(
+        analysis::interference_seconds(snap));
+  }
 
   result.spotlight_node_id = cfg.config == ChibaConfig::C64x2Anomaly
                                  ? anomaly_node_for(topo.nodes)
                                  : 0;
+  if (!cfg.faults.victims.empty() && cfg.faults.any()) {
+    // Spotlight the first degraded node so the kernel-wide view of a fault
+    // scenario shows where the interference landed.
+    result.spotlight_node_id = std::min<kernel::NodeId>(
+        cfg.faults.victims.front(),
+        static_cast<kernel::NodeId>(topo.nodes - 1));
+  }
   result.spotlight_node = snaps[result.spotlight_node_id];
 
   const std::string compute_phase =

@@ -28,6 +28,7 @@
 #include "kmpi/world.hpp"
 #include "knet/stack.hpp"
 #include "ktau/snapshot.hpp"
+#include "sim/fault.hpp"
 
 namespace ktau::expt {
 
@@ -82,6 +83,11 @@ struct ChibaRunConfig {
 
   /// Enable kernel + TAU tracing (Figure 2-E style runs).
   bool tracing = false;
+
+  /// Fault/interference injection (default-constructed == fully inert: no
+  /// extra events, RNG draws, or cycles anywhere).  Network faults apply
+  /// cluster-wide; storms, steals, and the slowdown hit `faults.victims`.
+  sim::FaultConfig faults;
 };
 
 /// Per-rank merged statistics extracted after a run.
@@ -123,6 +129,12 @@ struct ChibaRunResult {
   double overhead_stop_mean = 0, overhead_stop_stddev = 0,
          overhead_stop_min = 0;
   std::uint64_t overhead_samples = 0;
+  /// What the fault plan injected (all-zero for a fault-free run).
+  sim::FaultPlan::Totals fault_totals;
+  /// Per-node injected-interference seconds from each node's snapshot
+  /// (analysis::interference_seconds) — the kernel-wide-view signal that
+  /// makes degraded nodes stand out.  Indexed by node id.
+  std::vector<double> node_interference_sec;
 };
 
 /// Builds, runs, and harvests one Chiba experiment.
@@ -135,6 +147,9 @@ apps::SweepParams chiba_sweep_params(const ChibaRunConfig& cfg);
 
 /// The node a rank lives on under a configuration's placement.
 kernel::NodeId chiba_node_of_rank(ChibaConfig config, int rank, int ranks);
+
+/// Number of nodes a configuration uses for the given rank count.
+int chiba_node_count(ChibaConfig config, int ranks);
 
 /// The anomaly node index ("ccn10" analogue).
 inline constexpr kernel::NodeId kAnomalyNode = 61;

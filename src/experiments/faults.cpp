@@ -1,0 +1,69 @@
+#include "experiments/faults.hpp"
+
+#include <algorithm>
+
+#include "analysis/views.hpp"
+#include "sim/time.hpp"
+
+namespace ktau::expt {
+
+sim::FaultConfig chiba_fault_preset() {
+  sim::FaultConfig fc;
+  // Network: 1% loss + 2% reordering, RTO shortened below the Linux
+  // 200 ms floor so the short bench-scale runs still see several
+  // retransmission rounds without the stalls dominating execution time.
+  fc.drop_prob = 0.01;
+  fc.reorder_prob = 0.02;
+  fc.rto = 50 * sim::kMillisecond;
+  // Victim interference: ~20 storm bursts/s of 64 spurious IRQs, plus a
+  // 20 ms stolen-cycle burst every 250 ms (8% duty "rogue daemon").
+  fc.storm_rate_hz = 20.0;
+  fc.storm_len = 64;
+  fc.steal_period = 250 * sim::kMillisecond;
+  fc.steal_duration = 20 * sim::kMillisecond;
+  // Degraded hardware: user compute runs 15% slower on the victim.
+  fc.slowdown = 1.15;
+  return fc;
+}
+
+FaultScenarioResult run_fault_scenario(const FaultScenarioConfig& cfg) {
+  ChibaRunConfig base;
+  base.config = cfg.config;
+  base.workload = cfg.workload;
+  base.ranks = cfg.ranks;
+  base.scale = cfg.scale;
+  base.seed = cfg.seed;
+
+  FaultScenarioResult out;
+  const int nodes = chiba_node_count(cfg.config, cfg.ranks);
+  out.victim = std::min<kernel::NodeId>(
+      cfg.victim, static_cast<kernel::NodeId>(nodes - 1));
+
+  out.clean = run_chiba(base);
+
+  ChibaRunConfig faulted_cfg = base;
+  faulted_cfg.faults = cfg.faults;
+  faulted_cfg.faults.victims = {out.victim};
+  out.faulted = run_chiba(faulted_cfg);
+
+  for (std::size_t n = 0; n < out.faulted.node_interference_sec.size(); ++n) {
+    const double sec = out.faulted.node_interference_sec[n];
+    if (n == out.victim) {
+      out.victim_interference_sec = sec;
+    } else {
+      out.max_other_interference_sec =
+          std::max(out.max_other_interference_sec, sec);
+    }
+  }
+
+  out.injected_steal_sec =
+      static_cast<double>(out.faulted.fault_totals.steal_bursts) *
+      static_cast<double>(cfg.faults.steal_duration) / 1e9;
+  for (const auto& row :
+       analysis::interference_events(out.faulted.spotlight_node)) {
+    if (row.name == sim::kStealEvent) out.measured_steal_sec = row.incl_sec;
+  }
+  return out;
+}
+
+}  // namespace ktau::expt

@@ -102,6 +102,13 @@ struct MachineConfig {
   /// observed latency before a misplaced pair of CPU-bound tasks separates.
   std::uint32_t balance_interval_ticks = 25;
 
+  /// Degraded-node compute slowdown (sim::FaultConfig::slowdown, installed
+  /// by the experiment harness on victim nodes): user compute bursts take
+  /// `fault_slowdown` times as long.  1.0 — the default, and bit-exact
+  /// under multiplication — means healthy.  Receive-poll spin bursts are
+  /// exempt, like the SMP dilation they compose with.
+  double fault_slowdown = 1.0;
+
   CostModel costs;
   meas::KtauConfig ktau;
 

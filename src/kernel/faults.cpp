@@ -1,0 +1,67 @@
+#include "kernel/faults.hpp"
+
+namespace ktau::kernel {
+
+NodeFaultInjector::NodeFaultInjector(Machine& machine, sim::FaultPlan& plan)
+    : m_(machine), plan_(plan), rng_(plan.interference_rng(machine.id())) {
+  const sim::FaultConfig& fc = plan_.config();
+  if (fc.storm_active()) {
+    const meas::EventId ev =
+        m_.ktau().map_event(sim::kStormIrqEvent, meas::Group::Irq);
+    storm_line_ = m_.register_irq(ev, [this](Cpu& cpu) {
+      cpu.clock.consume_cycles(plan_.config().storm_handler_cycles);
+    });
+    arm_storm();
+  }
+  if (fc.steal_active()) {
+    steal_cycles_ =
+        sim::ns_to_cycles(fc.steal_duration, m_.config().freq);
+    const meas::EventId ev =
+        m_.ktau().map_event(sim::kStealEvent, meas::Group::Irq);
+    steal_line_ = m_.register_irq(ev, [this](Cpu& cpu) {
+      cpu.clock.consume_cycles(steal_cycles_);
+      ++plan_.totals().steal_bursts;
+    });
+    // Phase-shift the first burst uniformly inside one period so victims
+    // with different ids do not steal in lockstep.
+    next_steal_ = m_.engine().now() +
+                  rng_.uniform(0, fc.steal_period > 0 ? fc.steal_period - 1 : 0);
+    arm_steal();
+  }
+}
+
+void NodeFaultInjector::arm_storm() {
+  const sim::FaultConfig& fc = plan_.config();
+  // Exponential inter-burst gaps at the configured mean rate; drawing at
+  // arm time keeps the whole storm schedule a pure function of this node's
+  // interference stream.
+  const auto gap = static_cast<sim::TimeNs>(rng_.exponential(
+      static_cast<double>(sim::kSecond) / fc.storm_rate_hz));
+  const sim::TimeNs at = m_.engine().now() + gap;
+  if (at >= fc.until) return;
+  m_.engine().schedule_at(at, [this] { fire_storm_burst(); });
+}
+
+void NodeFaultInjector::fire_storm_burst() {
+  const sim::FaultConfig& fc = plan_.config();
+  const sim::TimeNs now = m_.engine().now();
+  for (std::uint32_t i = 0; i < fc.storm_len; ++i) {
+    m_.engine().schedule_at(now + i * fc.storm_gap, [this] {
+      ++plan_.totals().storm_irqs;
+      m_.raise_device_irq(storm_line_);
+    });
+  }
+  arm_storm();
+}
+
+void NodeFaultInjector::arm_steal() {
+  const sim::FaultConfig& fc = plan_.config();
+  if (next_steal_ >= fc.until) return;
+  m_.engine().schedule_at(next_steal_, [this] {
+    next_steal_ += plan_.config().steal_period;
+    m_.raise_device_irq(steal_line_);
+    arm_steal();
+  });
+}
+
+}  // namespace ktau::kernel

@@ -1,0 +1,48 @@
+// Kernel-level interference injection for one degraded ("victim") node.
+//
+// Drives the storm and stolen-cycle fault classes of a sim::FaultPlan
+// through the machine's real interrupt machinery: every injected burst is a
+// device interrupt, so it is routed by the node's IRQ policy, deferred past
+// non-preemptible kernel paths, wrapped in do_IRQ + its own KTAU
+// instrumentation point, charged to whichever process it interrupts
+// (process-centric attribution — the mechanism the paper's §5.1 daemon
+// experiment exercises), and followed by the usual cache-disruption penalty
+// on the interrupted computation.  All handler work is path cost; KTAU's
+// probe cost stays whatever the measurement config says it is.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/machine.hpp"
+#include "sim/fault.hpp"
+
+namespace ktau::kernel {
+
+/// Schedules IRQ storms and stolen-cycle bursts on one machine, following
+/// the plan's per-node interference RNG stream.  Construct one per victim
+/// node after the machine (and its drivers) exist; registration of the
+/// fault IRQ lines and KTAU events happens here, so nodes without an
+/// injector keep a byte-identical event registry.
+class NodeFaultInjector {
+ public:
+  NodeFaultInjector(Machine& machine, sim::FaultPlan& plan);
+
+  NodeFaultInjector(const NodeFaultInjector&) = delete;
+  NodeFaultInjector& operator=(const NodeFaultInjector&) = delete;
+
+ private:
+  void arm_storm();
+  void fire_storm_burst();
+  void arm_steal();
+
+  Machine& m_;
+  sim::FaultPlan& plan_;
+  sim::Rng& rng_;  // the plan's interference stream for this node
+
+  Machine::IrqLine storm_line_ = 0;
+  Machine::IrqLine steal_line_ = 0;
+  std::uint64_t steal_cycles_ = 0;
+  sim::TimeNs next_steal_ = 0;
+};
+
+}  // namespace ktau::kernel

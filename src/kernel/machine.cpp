@@ -422,7 +422,11 @@ void Machine::advance_task(Cpu& cpu) {
       t.spinning = false;
       const bool allow_block = t.spin_left == 0;
       const SyscallStatus status = net_->sys_recv(cpu, t, *m, allow_block);
-      if (status == SyscallStatus::Completed) {
+      if (status == SyscallStatus::Completed ||
+          status == SyscallStatus::Error) {
+        // Error (e.g. another reader already owns the socket's wait slot)
+        // completes the action without data; the stack has already counted
+        // and reported it loudly.
         t.current_action.reset();
         complete_action(cpu, t);
         return;
@@ -465,8 +469,11 @@ void Machine::start_user_burst(Cpu& cpu, Task& t) {
   arm_tick(cpu);
   cpu.in_user_burst = true;
   cpu.burst_start = cpu.clock.cursor;
-  // Spin bursts neither suffer nor cause memory-bus dilation.
-  cpu.burst_factor = t.spinning ? 1.0 : dilation_factor(cpu);
+  // Spin bursts neither suffer nor cause memory-bus dilation, and are
+  // likewise exempt from the degraded-node slowdown (polling is
+  // cache-resident).
+  cpu.burst_factor =
+      t.spinning ? 1.0 : dilation_factor(cpu) * cfg_.fault_slowdown;
   const auto wall = static_cast<sim::TimeNs>(
       static_cast<double>(t.compute_remaining) * cpu.burst_factor);
   const sim::TimeNs end = cpu.burst_start + wall;

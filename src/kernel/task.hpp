@@ -28,6 +28,7 @@ enum class SyscallStatus {
   Completed,   // syscall finished; the task continues to its next action
   Blocked,     // task was blocked inside the syscall; a continuation is set
   WouldBlock,  // non-blocking attempt found no data (EAGAIN)
+  Error,       // syscall failed (e.g. EBUSY); the action is abandoned
 };
 
 class Task {

@@ -1,6 +1,7 @@
 #include "knet/stack.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "kernel/cluster.hpp"
@@ -12,10 +13,11 @@ using kernel::SyscallStatus;
 using kernel::Task;
 
 NodeStack::NodeStack(Fabric& fabric, kernel::Machine& machine,
-                     const NetConfig& cfg)
+                     const NetConfig& cfg, sim::FaultPlan* faults)
     : fabric_(fabric),
       machine_(machine),
       cfg_(cfg),
+      faults_(faults),
       backlog_(machine.cpu_count()) {
   auto& ktau = machine_.ktau();
   ev_sys_writev_ = ktau.map_event("sys_writev", meas::Group::Syscall);
@@ -34,6 +36,16 @@ NodeStack::NodeStack(Fabric& fabric, kernel::Machine& machine,
                             [this](Cpu& cpu) { net_rx_softirq(cpu); });
   irq_line_ =
       machine_.register_irq(ev_eth_irq_, [this](Cpu& cpu) { nic_irq(cpu); });
+
+  if (faults_ != nullptr && faults_->config().net_active()) {
+    // Registered lazily — only when wire faults are actually on — so an
+    // inert plan leaves the event registry (and hence every snapshot byte)
+    // identical to a fault-free build.
+    ev_tcp_retx_ = ktau.map_event(sim::kTcpRetxEvent, meas::Group::Net);
+    retx_line_ = machine_.register_irq(
+        ev_tcp_retx_, [this](Cpu& cpu) { retx_timer_irq(cpu); });
+    retx_enabled_ = true;
+  }
 }
 
 int NodeStack::alloc_socket() {
@@ -62,7 +74,6 @@ SyscallStatus NodeStack::sys_send(Cpu& cpu, Task& /*t*/,
   cpu.clock.consume_cycles(cfg_.sock_glue);
 
   const bool loopback = sock.peer_node == machine_.id();
-  NodeStack& peer_stack = fabric_.stack(sock.peer_node);
 
   std::uint64_t remaining = m.bytes;
   while (remaining > 0) {
@@ -85,15 +96,8 @@ SyscallStatus NodeStack::sys_send(Cpu& cpu, Task& /*t*/,
       machine_.raise_softirq(cpu, kernel::kSoftirqNetRx);
     } else {
       // Serialize on the shared NIC, then traverse the link.
-      const sim::TimeNs tx_time = static_cast<sim::TimeNs>(
-          static_cast<double>(seg) / cfg_.bandwidth_bps * sim::kSecond);
-      nic_free_at_ = std::max(nic_free_at_, cpu.clock.cursor) + tx_time;
-      const sim::TimeNs jitter = static_cast<sim::TimeNs>(
-          fabric_.rng().exponential(
-              static_cast<double>(cfg_.latency_jitter_mean)));
-      const sim::TimeNs arrival = nic_free_at_ + cfg_.latency + jitter;
-      machine_.engine().schedule_at(
-          arrival, [&peer_stack, pkt] { peer_stack.deliver(pkt); });
+      const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, seg);
+      transmit(cpu.clock.cursor, m.socket, pkt, arrival, 0);
     }
     sock.bytes_sent += seg;
   }
@@ -105,9 +109,82 @@ SyscallStatus NodeStack::sys_send(Cpu& cpu, Task& /*t*/,
   return SyscallStatus::Completed;
 }
 
+sim::TimeNs NodeStack::egress_arrival(sim::TimeNs ready, std::uint32_t bytes) {
+  const sim::TimeNs tx_time = static_cast<sim::TimeNs>(
+      static_cast<double>(bytes) / cfg_.bandwidth_bps * sim::kSecond);
+  nic_free_at_ = std::max(nic_free_at_, ready) + tx_time;
+  const sim::TimeNs jitter = static_cast<sim::TimeNs>(
+      fabric_.rng().exponential(static_cast<double>(cfg_.latency_jitter_mean)));
+  return nic_free_at_ + cfg_.latency + jitter;
+}
+
+void NodeStack::transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
+                         sim::TimeNs arrival, std::uint32_t tries) {
+  if (retx_enabled_) {
+    const sim::FaultConfig& fc = faults_->config();
+    switch (faults_->segment_fate(machine_.id())) {
+      case sim::FaultPlan::SegmentFate::Drop:
+        if (tries < fc.max_retx) {
+          // Lost on the wire.  The sender's retransmission timer fires one
+          // (backed-off) RTO after the send; the timer interrupt requeues
+          // the retained skb through the normal egress path.
+          const sim::TimeNs rto = fc.rto << std::min<std::uint32_t>(tries, 6);
+          machine_.engine().schedule_at(
+              send_time + rto, [this, src_fd, pkt, tries] {
+                retx_queue_.push_back(PendingRetx{pkt, src_fd, tries + 1});
+                machine_.raise_device_irq(retx_line_);
+              });
+          return;
+        }
+        // Retry budget exhausted: deliver unconditionally so extreme drop
+        // probabilities degrade the run instead of wedging it.
+        break;
+      case sim::FaultPlan::SegmentFate::Reorder:
+        arrival += fc.reorder_extra;
+        break;
+      case sim::FaultPlan::SegmentFate::Deliver:
+        break;
+    }
+  }
+  NodeStack& peer_stack = fabric_.stack(socket(src_fd).peer_node);
+  machine_.engine().schedule_at(
+      arrival, [&peer_stack, pkt] { peer_stack.deliver(pkt); });
+}
+
+void NodeStack::retx_timer_irq(Cpu& cpu) {
+  // Runs in interrupt context; deliver_irq has already charged the do_IRQ
+  // prologue and opened the tcp_retransmit_timer probe pair, so everything
+  // consumed here lands in the retransmit path's exclusive time (path
+  // cost, visible in the kernel-wide view of a lossy run).
+  while (!retx_queue_.empty()) {
+    const PendingRetx rt = retx_queue_.front();
+    retx_queue_.pop_front();
+    cpu.clock.consume_cycles(cfg_.tcp_send_base);
+    ++retransmits_;
+    ++faults_->totals().retransmits;
+    const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, rt.pkt.bytes);
+    transmit(cpu.clock.cursor, rt.src_fd, rt.pkt, arrival, rt.tries);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Receive path: syscall side
 // ---------------------------------------------------------------------------
+
+bool NodeStack::claim_waiter(Socket& sock, Task& t, std::uint64_t wanted) {
+  if (sock.waiter != nullptr && sock.waiter != &t) {
+    // A second reader racing onto a socket whose wait slot is taken would
+    // silently overwrite waiter/wanted and strand the first task forever.
+    // Fail loudly instead: abort in debug builds, count and surface EBUSY
+    // in release builds.
+    assert(false && "knet: socket already has a blocked/polling reader");
+    ++sock.read_errors;
+    return false;
+  }
+  sock.waiter = &t;
+  sock.wanted = wanted;
+  return true;
+}
 
 SyscallStatus NodeStack::sys_recv(Cpu& cpu, Task& t, const kernel::RecvMsg& m,
                                   bool allow_block) {
@@ -124,23 +201,25 @@ SyscallStatus NodeStack::sys_recv(Cpu& cpu, Task& t, const kernel::RecvMsg& m,
     return finish_recv(cpu, t, m.socket, m.bytes);
   }
 
+  if (!claim_waiter(sock, t, m.bytes)) {
+    cpu.clock.consume_cycles(costs.syscall_exit);
+    machine_.kprobe_exit(cpu, ev_sys_read_);
+    return SyscallStatus::Error;
+  }
+
   if (!allow_block) {
-    // Non-blocking attempt (the user-space poll loop): EAGAIN.  Register
-    // as the socket's waiter anyway so the receive path can poke the
-    // spinner the moment enough data arrives.
-    sock.waiter = &t;
-    sock.wanted = m.bytes;
+    // Non-blocking attempt (the user-space poll loop): EAGAIN.  The waiter
+    // registration stays so the receive path can poke the spinner the
+    // moment enough data arrives.
     cpu.clock.consume_cycles(costs.syscall_exit);
     machine_.kprobe_exit(cpu, ev_sys_read_);
     return SyscallStatus::WouldBlock;
   }
 
-  // Not enough data: register as the socket's waiter and block.  The
+  // Not enough data: block as the socket's registered waiter.  The
   // sys_read activation frame stays open across the block, so the nested
   // schedule_vol wait is part of sys_read's inclusive time — the structure
   // Figure 4 (MPI_Recv's kernel call groups) displays.
-  sock.waiter = &t;
-  sock.wanted = m.bytes;
   const int fd = m.socket;
   const std::uint64_t bytes = m.bytes;
   t.resume = [this, fd, bytes](Cpu& c, Task& task) {
@@ -155,8 +234,11 @@ SyscallStatus NodeStack::finish_recv(Cpu& cpu, Task& t, int fd,
   Socket& sock = socket(fd);
   if (sock.rx_available < bytes) {
     // Spurious wakeup (defensive; wakes are normally exact): wait again.
-    sock.waiter = &t;
-    sock.wanted = bytes;
+    if (!claim_waiter(sock, t, bytes)) {
+      cpu.clock.consume_cycles(machine_.config().costs.syscall_exit);
+      machine_.kprobe_exit(cpu, ev_sys_read_);
+      return SyscallStatus::Error;
+    }
     machine_.block_current(cpu, t);
     return SyscallStatus::Blocked;
   }
@@ -238,12 +320,12 @@ void NodeStack::net_rx_softirq(Cpu& cpu) {
 // Fabric
 // ---------------------------------------------------------------------------
 
-Fabric::Fabric(kernel::Cluster& cluster, NetConfig cfg)
-    : cluster_(cluster), cfg_(cfg), rng_(cfg.seed) {
+Fabric::Fabric(kernel::Cluster& cluster, NetConfig cfg, sim::FaultPlan* faults)
+    : cluster_(cluster), cfg_(cfg), rng_(cfg.seed), faults_(faults) {
   stacks_.reserve(cluster.size());
   for (kernel::NodeId n = 0; n < cluster.size(); ++n) {
     stacks_.push_back(
-        std::make_unique<NodeStack>(*this, cluster.machine(n), cfg_));
+        std::make_unique<NodeStack>(*this, cluster.machine(n), cfg_, faults_));
   }
 }
 

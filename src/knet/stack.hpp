@@ -26,6 +26,7 @@
 #include "kernel/machine.hpp"
 #include "kernel/types.hpp"
 #include "knet/config.hpp"
+#include "sim/fault.hpp"
 #include "sim/rng.hpp"
 
 namespace ktau::knet {
@@ -52,6 +53,9 @@ struct Socket {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t segments_received = 0;
+  /// Reads rejected because another task already held the wait slot
+  /// (EBUSY; asserts in debug builds).
+  std::uint64_t read_errors = 0;
 };
 
 class Fabric;
@@ -60,7 +64,11 @@ class Fabric;
 /// installs itself on the machine.
 class NodeStack final : public kernel::NetStack {
  public:
-  NodeStack(Fabric& fabric, kernel::Machine& machine, const NetConfig& cfg);
+  /// `faults` may be null (no fault injection); when set but inert for the
+  /// network, no retransmit event/IRQ line is registered, keeping the node
+  /// byte-identical to a fault-free build.
+  NodeStack(Fabric& fabric, kernel::Machine& machine, const NetConfig& cfg,
+            sim::FaultPlan* faults);
 
   NodeStack(const NodeStack&) = delete;
   NodeStack& operator=(const NodeStack&) = delete;
@@ -88,9 +96,18 @@ class NodeStack final : public kernel::NetStack {
   std::uint64_t rx_segments() const { return rx_segments_; }
   /// Of those, how many paid the cross-CPU cache penalty.
   std::uint64_t rx_penalized() const { return rx_penalized_; }
+  /// Segments this node retransmitted after simulated wire loss.
+  std::uint64_t retransmits() const { return retransmits_; }
 
  private:
   friend class Fabric;
+
+  /// A lost segment awaiting its retransmission-timer pass.
+  struct PendingRetx {
+    Packet pkt;
+    int src_fd = -1;
+    std::uint32_t tries = 0;
+  };
 
   int alloc_socket();
   void nic_irq(kernel::Cpu& cpu);
@@ -98,11 +115,24 @@ class NodeStack final : public kernel::NetStack {
   /// Finishes (or re-blocks) a read that blocked waiting for data.
   kernel::SyscallStatus finish_recv(kernel::Cpu& cpu, kernel::Task& t, int fd,
                                     std::uint64_t bytes);
+  /// Registers `t` as the socket's single blocked/polling reader.  False —
+  /// after counting the error and asserting in debug builds — if another
+  /// task already holds the slot.
+  bool claim_waiter(Socket& sock, kernel::Task& t, std::uint64_t wanted);
+  /// NIC serialization + link traversal: updates nic_free_at_ and returns
+  /// the segment's arrival time at the peer (includes the jitter draw).
+  sim::TimeNs egress_arrival(sim::TimeNs ready, std::uint32_t bytes);
+  /// Puts one segment on the wire (applying the fault plan's drop/reorder
+  /// fate) or arms its retransmission timer.
+  void transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
+                sim::TimeNs arrival, std::uint32_t tries);
+  void retx_timer_irq(kernel::Cpu& cpu);
   std::uint64_t copy_cycles(std::uint64_t bytes) const;
 
   Fabric& fabric_;
   kernel::Machine& machine_;
   const NetConfig& cfg_;
+  sim::FaultPlan* faults_;
 
   std::vector<std::unique_ptr<Socket>> sockets_;
 
@@ -127,15 +157,25 @@ class NodeStack final : public kernel::NetStack {
   meas::EventId ev_net_tx_bytes_;
   kernel::Machine::IrqLine irq_line_ = 0;
 
+  // retransmission-timer path (registered only when network faults are on)
+  bool retx_enabled_ = false;
+  meas::EventId ev_tcp_retx_ = 0;
+  kernel::Machine::IrqLine retx_line_ = 0;
+  std::deque<PendingRetx> retx_queue_;
+
   std::uint64_t rx_segments_ = 0;
   std::uint64_t rx_penalized_ = 0;
+  std::uint64_t retransmits_ = 0;
 };
 
 /// Cluster-wide wiring: owns the per-node stacks and the links.
 class Fabric {
  public:
-  /// Builds a stack for every machine currently in the cluster.
-  Fabric(kernel::Cluster& cluster, NetConfig cfg = {});
+  /// Builds a stack for every machine currently in the cluster.  `faults`
+  /// (optional, caller-owned, must outlive the fabric) enables the wire
+  /// fault hooks on every stack.
+  Fabric(kernel::Cluster& cluster, NetConfig cfg = {},
+         sim::FaultPlan* faults = nullptr);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -151,12 +191,14 @@ class Fabric {
   NodeStack& stack(kernel::NodeId n) { return *stacks_.at(n); }
   const NetConfig& config() const { return cfg_; }
   sim::Rng& rng() { return rng_; }
+  sim::FaultPlan* faults() { return faults_; }
   kernel::Cluster& cluster() { return cluster_; }
 
  private:
   kernel::Cluster& cluster_;
   NetConfig cfg_;
   sim::Rng rng_;
+  sim::FaultPlan* faults_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
 };
 

@@ -77,11 +77,14 @@ OverheadReport ProcKtau::ctl_overhead() const {
   rep.start_count = start.count();
   rep.start_mean = start.mean();
   rep.start_stddev = start.stddev();
-  rep.start_min = start.min();
+  // With charge_overhead off (or KTAU disabled) there are no samples; report
+  // 0 rather than the accumulator's NaN sentinel so the /proc report stays
+  // printable.
+  rep.start_min = start.empty() ? 0.0 : start.min();
   rep.stop_count = stop.count();
   rep.stop_mean = stop.mean();
   rep.stop_stddev = stop.stddev();
-  rep.stop_min = stop.min();
+  rep.stop_min = stop.empty() ? 0.0 : stop.min();
   rep.total_cycles = sys_.total_overhead_cycles();
   return rep;
 }

@@ -47,6 +47,18 @@ class ByteReader {
     pos_ += n;
     return s;
   }
+  /// Reads an element count and validates it against the bytes actually
+  /// left in the buffer (each element occupies at least `min_elem_bytes`
+  /// on the wire), so a corrupt count fails here — before the caller's
+  /// reserve() — instead of triggering a multi-gigabyte allocation.
+  std::uint32_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    if (n > remaining() / min_elem_bytes) {
+      throw SnapshotError("KTAU snapshot: element count exceeds data");
+    }
+    return n;
+  }
+  std::size_t remaining() const { return buf_.size() - pos_; }
   bool done() const { return pos_ == buf_.size(); }
 
  private:
@@ -59,13 +71,24 @@ class ByteReader {
     return v;
   }
   void need(std::size_t n) {
-    if (pos_ + n > buf_.size()) {
-      throw std::runtime_error("KTAU snapshot: truncated data");
+    if (n > remaining()) {
+      throw SnapshotError("KTAU snapshot: truncated data");
     }
   }
   const std::vector<std::byte>& buf_;
   std::size_t pos_ = 0;
 };
+
+// Minimum wire sizes of the variable-count records, used to bound counts
+// read from untrusted bytes.  A record with a string counts only its 4-byte
+// length prefix (the string body may be empty).
+constexpr std::size_t kMinEventDescBytes = 4 + 4 + 4;          // id+group+len
+constexpr std::size_t kMinTaskBytes = 4 + 4 + 4 * 4;           // pid+len+counts
+constexpr std::size_t kMinEventRowBytes = 4 + 8 + 8 + 8;
+constexpr std::size_t kMinAtomicRowBytes = 4 + 8 + 8 + 8 + 8;
+constexpr std::size_t kMinKeyedRowBytes = 8 + 8 + 8 + 8;       // bridge/edge
+constexpr std::size_t kMinTraceTaskBytes = 4 + 4 + 8 + 4;      // pid+len+drop+n
+constexpr std::size_t kMinTraceRecBytes = 8 + 4 + 1 + 8;
 
 void encode_event_table(ByteWriter& w, const EventRegistry& registry) {
   w.u32(static_cast<std::uint32_t>(registry.size()));
@@ -78,7 +101,7 @@ void encode_event_table(ByteWriter& w, const EventRegistry& registry) {
 }
 
 std::vector<EventDesc> decode_event_table(ByteReader& r) {
-  const std::uint32_t n = r.u32();
+  const std::uint32_t n = r.count(kMinEventDescBytes);
   std::vector<EventDesc> events;
   events.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -175,22 +198,22 @@ std::vector<std::byte> encode_profile(
 ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes) {
   ByteReader r(bytes);
   if (r.u32() != kProfileMagic) {
-    throw std::runtime_error("KTAU profile snapshot: bad magic");
+    throw SnapshotError("KTAU profile snapshot: bad magic");
   }
   if (r.u32() != kVersion) {
-    throw std::runtime_error("KTAU profile snapshot: unsupported version");
+    throw SnapshotError("KTAU profile snapshot: unsupported version");
   }
   ProfileSnapshot snap;
   snap.timestamp = r.u64();
   snap.cpu_freq = r.u64();
   snap.events = decode_event_table(r);
-  const std::uint32_t ntasks = r.u32();
+  const std::uint32_t ntasks = r.count(kMinTaskBytes);
   snap.tasks.reserve(ntasks);
   for (std::uint32_t i = 0; i < ntasks; ++i) {
     TaskProfileData t;
     t.pid = r.u32();
     t.name = r.str();
-    const std::uint32_t nev = r.u32();
+    const std::uint32_t nev = r.count(kMinEventRowBytes);
     t.events.reserve(nev);
     for (std::uint32_t j = 0; j < nev; ++j) {
       EventEntry e;
@@ -200,7 +223,7 @@ ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes) {
       e.excl = r.u64();
       t.events.push_back(e);
     }
-    const std::uint32_t nat = r.u32();
+    const std::uint32_t nat = r.count(kMinAtomicRowBytes);
     t.atomics.reserve(nat);
     for (std::uint32_t j = 0; j < nat; ++j) {
       AtomicEntry a;
@@ -211,7 +234,7 @@ ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes) {
       a.max = r.f64();
       t.atomics.push_back(a);
     }
-    const std::uint32_t nbr = r.u32();
+    const std::uint32_t nbr = r.count(kMinKeyedRowBytes);
     t.bridge.reserve(nbr);
     for (std::uint32_t j = 0; j < nbr; ++j) {
       BridgeEntry b;
@@ -223,7 +246,7 @@ ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes) {
       b.excl = r.u64();
       t.bridge.push_back(b);
     }
-    const std::uint32_t ncp = r.u32();
+    const std::uint32_t ncp = r.count(kMinKeyedRowBytes);
     t.edges.reserve(ncp);
     for (std::uint32_t j = 0; j < ncp; ++j) {
       EdgeEntry e;
@@ -269,23 +292,23 @@ std::vector<std::byte> encode_trace(const EventRegistry& registry,
 TraceSnapshot decode_trace(const std::vector<std::byte>& bytes) {
   ByteReader r(bytes);
   if (r.u32() != kTraceMagic) {
-    throw std::runtime_error("KTAU trace snapshot: bad magic");
+    throw SnapshotError("KTAU trace snapshot: bad magic");
   }
   if (r.u32() != kVersion) {
-    throw std::runtime_error("KTAU trace snapshot: unsupported version");
+    throw SnapshotError("KTAU trace snapshot: unsupported version");
   }
   TraceSnapshot snap;
   snap.timestamp = r.u64();
   snap.cpu_freq = r.u64();
   snap.events = decode_event_table(r);
-  const std::uint32_t ntasks = r.u32();
+  const std::uint32_t ntasks = r.count(kMinTraceTaskBytes);
   snap.tasks.reserve(ntasks);
   for (std::uint32_t i = 0; i < ntasks; ++i) {
     TaskTraceData t;
     t.pid = r.u32();
     t.name = r.str();
     t.dropped = r.u64();
-    const std::uint32_t nrec = r.u32();
+    const std::uint32_t nrec = r.count(kMinTraceRecBytes);
     t.records.reserve(nrec);
     for (std::uint32_t j = 0; j < nrec; ++j) {
       TraceRecord rec;

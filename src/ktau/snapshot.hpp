@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,15 @@
 #include "sim/time.hpp"
 
 namespace ktau::meas {
+
+/// Malformed snapshot bytes: bad magic/version, truncated data, or an
+/// element count inconsistent with the remaining buffer.  Derives from
+/// std::runtime_error so pre-existing catch sites keep working; new code
+/// should catch this type.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One event's metadata in a snapshot (decoded registry entry).
 struct EventDesc {
@@ -136,10 +146,13 @@ std::vector<std::byte> encode_trace(const EventRegistry& registry,
 
 // -- decoding (user side, used by libKtau) ----------------------------------
 
-/// Parses a profile snapshot.  Throws std::runtime_error on malformed input.
+/// Parses a profile snapshot.  Throws SnapshotError on malformed input;
+/// element counts are validated against the remaining bytes before any
+/// allocation, so corrupt counts cannot trigger huge reserves.
 ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes);
 
-/// Parses a trace snapshot.  Throws std::runtime_error on malformed input.
+/// Parses a trace snapshot.  Throws SnapshotError on malformed input (same
+/// allocation guarantees as decode_profile).
 TraceSnapshot decode_trace(const std::vector<std::byte>& bytes);
 
 }  // namespace ktau::meas

@@ -1,0 +1,52 @@
+#include "sim/fault.hpp"
+
+namespace ktau::sim {
+
+namespace {
+
+// Derives an independent stream seed for (root seed, node, purpose) so the
+// network stream of node 3 never shares state with its interference stream
+// or with any other node.
+std::uint64_t stream_seed(std::uint64_t root, std::uint32_t node,
+                          std::uint64_t purpose) {
+  std::uint64_t state = root;
+  state ^= splitmix64(state) + node;
+  state ^= splitmix64(state) + purpose;
+  return splitmix64(state);
+}
+
+constexpr std::uint64_t kNetPurpose = 0x6E65747331ULL;           // "nets1"
+constexpr std::uint64_t kInterferencePurpose = 0x69726A7331ULL;  // "irjs1"
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint32_t nodes)
+    : cfg_(cfg) {
+  net_rng_.reserve(nodes);
+  interference_rng_.reserve(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    net_rng_.emplace_back(stream_seed(cfg_.seed, n, kNetPurpose));
+    interference_rng_.emplace_back(
+        stream_seed(cfg_.seed, n, kInterferencePurpose));
+  }
+}
+
+FaultPlan::SegmentFate FaultPlan::segment_fate(std::uint32_t src_node) {
+  Rng& rng = net_rng_.at(src_node);
+  // Always draw both fates so a segment's reorder outcome does not depend
+  // on whether drop_prob is zero — the schedule for one fault class is
+  // stable under toggling the other.
+  const bool drop = rng.bernoulli(cfg_.drop_prob);
+  const bool reorder = rng.bernoulli(cfg_.reorder_prob);
+  if (drop) {
+    ++totals_.segments_dropped;
+    return SegmentFate::Drop;
+  }
+  if (reorder) {
+    ++totals_.segments_reordered;
+    return SegmentFate::Reorder;
+  }
+  return SegmentFate::Deliver;
+}
+
+}  // namespace ktau::sim

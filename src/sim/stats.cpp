@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace ktau::sim {
@@ -101,12 +102,14 @@ double Cdf::quantile(double q) const {
 
 double Cdf::min() const {
   ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.front();
+  return samples_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                          : samples_.front();
 }
 
 double Cdf::max() const {
   ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.back();
+  return samples_.empty() ? std::numeric_limits<double>::quiet_NaN()
+                          : samples_.back();
 }
 
 const std::vector<double>& Cdf::sorted_samples() const {

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 namespace ktau::sim {
@@ -18,13 +19,21 @@ class OnlineStats {
  public:
   void add(double x);
 
+  bool empty() const { return n_ == 0; }
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Population variance (n in the denominator); 0 for n < 2.
   double variance() const;
   double stddev() const;
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  /// Extrema are NaN for the empty distribution — callers that would format
+  /// them must check empty() (a genuine minimum of 0.0 is representable, so
+  /// 0.0 cannot double as the "no samples" sentinel).
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   double sum() const { return sum_; }
 
   /// Merges another accumulator into this one (parallel reduction style).
@@ -79,6 +88,7 @@ class Cdf {
   /// Value at quantile q in [0, 1] (nearest-rank).
   double quantile(double q) const;
 
+  /// NaN when empty, like OnlineStats::min()/max().
   double min() const;
   double max() const;
   double median() const { return quantile(0.5); }

@@ -319,6 +319,42 @@ TEST(PhaseProfiling, NestedPhasesChargeInnermost) {
   EXPECT_EQ(prof.phase_metrics(p_outer, p_inner).count, 1u);
 }
 
+TEST(Callpath, CorruptedEdgeSectionsRejectedNotCrashing) {
+  // A callpath-enabled profile exercises the bridge/edge sections of the
+  // binary codec; truncating or count-bombing those must yield a typed
+  // SnapshotError, never a crash or a multi-gigabyte reserve.
+  Cluster cluster;
+  Machine& m = cluster.add_machine(callpath_config());
+  Task& t = m.spawn("worker");
+  t.program = [](void) -> Program {
+    for (int i = 0; i < 5; ++i) {
+      co_await kernel::SleepFor{10 * kMillisecond};
+      co_await kernel::NullSyscall{};
+    }
+  }();
+  m.launch(t);
+  cluster.run();
+
+  const std::size_t size = m.proc().profile_size(meas::Scope::All);
+  std::vector<std::byte> full;
+  ASSERT_TRUE(m.proc().profile_read(meas::Scope::All, {}, size, full));
+  const auto snap = meas::decode_profile(full);
+  ASSERT_FALSE(analysis::task_of(snap, 100).edges.empty());
+
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    std::vector<std::byte> cut(full.begin(), full.begin() + n);
+    EXPECT_THROW(meas::decode_profile(cut), meas::SnapshotError) << n;
+  }
+  for (std::size_t off = 0; off + 4 <= full.size(); ++off) {
+    auto bomb = full;
+    for (std::size_t i = 0; i < 4; ++i) bomb[off + i] = std::byte{0xFF};
+    try {
+      meas::decode_profile(bomb);
+    } catch (const meas::SnapshotError&) {
+    }
+  }
+}
+
 TEST(TauExport, ReaderRejectsGarbage) {
   EXPECT_THROW(tau::read_tau_profile(""), std::runtime_error);
   EXPECT_THROW(tau::read_tau_profile("nonsense"), std::runtime_error);

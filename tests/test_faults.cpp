@@ -1,0 +1,168 @@
+// Fault-injection layer tests: FaultPlan stream determinism and
+// independence, end-to-end determinism of faulted Chiba runs, loss
+// recovery via TCP retransmission, victim interference visibility, and the
+// per-node slowdown knob.  (DESIGN.md §7.)
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "experiments/faults.hpp"
+#include "sim/fault.hpp"
+
+namespace ktau {
+namespace {
+
+using expt::ChibaConfig;
+using expt::ChibaRunConfig;
+using expt::ChibaRunResult;
+using expt::Workload;
+using sim::FaultConfig;
+using sim::FaultPlan;
+
+ChibaRunConfig small_run() {
+  ChibaRunConfig cfg;
+  cfg.config = ChibaConfig::C64x2;
+  cfg.workload = Workload::LU;
+  cfg.ranks = 16;
+  cfg.scale = 0.02;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(FaultPlan, DefaultConfigIsInert) {
+  const FaultConfig fc;
+  EXPECT_FALSE(fc.net_active());
+  EXPECT_FALSE(fc.interference_active());
+  EXPECT_FALSE(fc.slowdown_active());
+  EXPECT_FALSE(fc.any());
+  // Victims alone (no storm/steal/slowdown knob) are still inert.
+  FaultConfig with_victims;
+  with_victims.victims = {3};
+  EXPECT_FALSE(with_victims.any());
+}
+
+TEST(FaultPlan, SegmentFatesAreSeededAndPerNode) {
+  FaultConfig fc;
+  fc.drop_prob = 0.2;
+  fc.reorder_prob = 0.3;
+  FaultPlan a(fc, 4), b(fc, 4);
+  std::vector<std::vector<FaultPlan::SegmentFate>> fates(4);
+  for (int i = 0; i < 200; ++i) {
+    for (std::uint32_t node = 0; node < 4; ++node) {
+      const auto fa = a.segment_fate(node);
+      EXPECT_EQ(fa, b.segment_fate(node));  // same config + seed, same fate
+      fates[node].push_back(fa);
+    }
+  }
+  // Streams are per-node, not shared: node sequences differ.
+  bool diverged_across_nodes = false;
+  for (std::uint32_t node = 1; node < 4; ++node) {
+    diverged_across_nodes |= fates[node] != fates[0];
+  }
+  EXPECT_TRUE(diverged_across_nodes);
+  EXPECT_GT(a.totals().segments_dropped, 0u);
+  EXPECT_GT(a.totals().segments_reordered, 0u);
+}
+
+TEST(FaultPlan, DropScheduleStableWhenReorderToggled) {
+  // Turning one fault class on must not shift another class's schedule:
+  // segment_fate draws both bernoullis unconditionally.
+  FaultConfig drops_only;
+  drops_only.drop_prob = 0.25;
+  FaultConfig both = drops_only;
+  both.reorder_prob = 0.5;
+  FaultPlan a(drops_only, 1), b(both, 1);
+  for (int i = 0; i < 500; ++i) {
+    const bool dropped_a = a.segment_fate(0) == FaultPlan::SegmentFate::Drop;
+    const bool dropped_b = b.segment_fate(0) == FaultPlan::SegmentFate::Drop;
+    EXPECT_EQ(dropped_a, dropped_b) << i;
+  }
+  EXPECT_EQ(a.totals().segments_dropped, b.totals().segments_dropped);
+}
+
+std::uint64_t faulted_fingerprint(const ChibaRunResult& run) {
+  // FNV-1a over the determinism-relevant bits of a faulted run.
+  std::uint64_t h = 1469598103934665603ull;
+  auto fold = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto f64 = [&fold](double v) { fold(&v, sizeof v); };
+  fold(&run.engine_events, sizeof run.engine_events);
+  f64(run.exec_sec);
+  fold(&run.fault_totals, sizeof run.fault_totals);
+  for (const auto& r : run.ranks) f64(r.exec_sec);
+  for (double sec : run.node_interference_sec) f64(sec);
+  return h;
+}
+
+TEST(FaultDeterminism, FaultedRunsAreBitIdentical) {
+  ChibaRunConfig cfg = small_run();
+  cfg.faults = expt::chiba_fault_preset();
+  cfg.faults.victims = {3};
+  const ChibaRunResult a = expt::run_chiba(cfg);
+  const ChibaRunResult b = expt::run_chiba(cfg);
+  EXPECT_GT(a.fault_totals.segments_dropped, 0u);
+  EXPECT_GT(a.fault_totals.storm_irqs, 0u);
+  EXPECT_EQ(faulted_fingerprint(a), faulted_fingerprint(b));
+}
+
+TEST(FaultDeterminism, FaultSeedChangesSchedule) {
+  ChibaRunConfig cfg = small_run();
+  cfg.faults = expt::chiba_fault_preset();
+  cfg.faults.victims = {3};
+  const ChibaRunResult a = expt::run_chiba(cfg);
+  cfg.faults.seed ^= 0xDEAD;
+  const ChibaRunResult b = expt::run_chiba(cfg);
+  EXPECT_NE(faulted_fingerprint(a), faulted_fingerprint(b));
+}
+
+TEST(FaultInjection, PacketLossIsRecoveredByRetransmission) {
+  ChibaRunConfig cfg = small_run();
+  const ChibaRunResult clean = expt::run_chiba(cfg);
+  cfg.faults.drop_prob = 0.03;
+  cfg.faults.rto = 20 * sim::kMillisecond;
+  const ChibaRunResult lossy = expt::run_chiba(cfg);
+  // Every drop is recovered (the run completes) and counted.
+  EXPECT_GT(lossy.fault_totals.segments_dropped, 0u);
+  EXPECT_GT(lossy.fault_totals.retransmits, 0u);
+  EXPECT_EQ(lossy.fault_totals.storm_irqs, 0u);
+  // Retransmission stalls cost time.
+  EXPECT_GT(lossy.exec_sec, clean.exec_sec);
+  // Clean runs report all-zero totals.
+  EXPECT_EQ(clean.fault_totals.segments_dropped, 0u);
+  EXPECT_EQ(clean.fault_totals.retransmits, 0u);
+}
+
+TEST(FaultInjection, VictimInterferenceStandsOutInKernelWideView) {
+  expt::FaultScenarioConfig cfg;
+  cfg.scale = 0.02;
+  const auto res = expt::run_fault_scenario(cfg);
+  EXPECT_GT(res.victim_interference_sec, 0.0);
+  EXPECT_GT(res.victim_interference_sec,
+            5.0 * res.max_other_interference_sec);
+  // The steal KTAU event measures what the plan injected (probe-free band).
+  ASSERT_GT(res.injected_steal_sec, 0.0);
+  const double ratio = res.measured_steal_sec / res.injected_steal_sec;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.6);
+  EXPECT_GT(res.faulted.exec_sec, res.clean.exec_sec);
+}
+
+TEST(FaultInjection, SlowdownStretchesVictimCompute) {
+  ChibaRunConfig cfg = small_run();
+  const ChibaRunResult clean = expt::run_chiba(cfg);
+  cfg.faults.slowdown = 1.5;
+  cfg.faults.victims = {0};
+  const ChibaRunResult slow = expt::run_chiba(cfg);
+  // No injected events — only dilated compute on the victim.
+  EXPECT_EQ(slow.fault_totals.storm_irqs, 0u);
+  EXPECT_EQ(slow.fault_totals.segments_dropped, 0u);
+  EXPECT_GT(slow.exec_sec, clean.exec_sec * 1.02);
+}
+
+}  // namespace
+}  // namespace ktau

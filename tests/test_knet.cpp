@@ -282,6 +282,44 @@ TEST(Knet, AtomicEventsRecordPacketSizes) {
   EXPECT_DOUBLE_EQ(it->second.min, 160.0);
 }
 
+#ifdef NDEBUG
+TEST(Knet, SecondBlockedReaderIsRejectedNotSilentlyOverwritten) {
+  // Two tasks blocking on the same socket used to silently overwrite the
+  // first reader's wait registration (the first task wedged forever).  The
+  // second reader must now fail its recv with an error while the first
+  // one's registration — and the data — stay intact.
+  TwoNodes env;
+  const auto conn = env.fabric->connect(0, 1);
+  Task& rx1 = env.b->spawn("rx1", cpu_bit(0));
+  rx1.program = receiver(conn.fd_b, 1'000);
+  Task& rx2 = env.b->spawn("rx2", cpu_bit(1), 1 * kMillisecond);
+  rx2.program = receiver(conn.fd_b, 1'000);
+  env.b->launch(rx1);
+  env.b->launch(rx2);
+  Task& tx = env.a->spawn("tx", kernel::kAllCpus, 10 * kMillisecond);
+  tx.program = sender(conn.fd_a, 1'000);
+  env.a->launch(tx);
+  env.cluster.run();
+
+  EXPECT_TRUE(rx1.exited);  // got the data (was wedged before the fix)
+  EXPECT_TRUE(rx2.exited);  // recv failed with EBUSY; program ran on
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).read_errors, 1u);
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, 1'000u);
+}
+#else
+TEST(KnetDeathTest, SecondBlockedReaderAssertsInDebug) {
+  TwoNodes env;
+  const auto conn = env.fabric->connect(0, 1);
+  Task& rx1 = env.b->spawn("rx1", cpu_bit(0));
+  rx1.program = receiver(conn.fd_b, 1'000);
+  Task& rx2 = env.b->spawn("rx2", cpu_bit(1), 1 * kMillisecond);
+  rx2.program = receiver(conn.fd_b, 1'000);
+  env.b->launch(rx1);
+  env.b->launch(rx2);
+  EXPECT_DEATH(env.cluster.run(), "blocked/polling reader");
+}
+#endif
+
 TEST(Knet, SharedNicSerializesConcurrentSenders) {
   // Two senders on one node share the NIC: their transfers serialize, so
   // total time is ~2x a single transfer (the 64x2 contention effect).

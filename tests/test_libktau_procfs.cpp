@@ -298,6 +298,79 @@ TEST(SnapshotCodec, DecodeRejectsCorruptData) {
   EXPECT_THROW(meas::decode_trace(junk), std::runtime_error);
   std::vector<std::byte> empty;
   EXPECT_THROW(meas::decode_profile(empty), std::runtime_error);
+  // SnapshotError derives std::runtime_error, so both catch styles work.
+  EXPECT_THROW(meas::decode_profile(junk), meas::SnapshotError);
+}
+
+// A small but fully populated profile + trace serialization to corrupt.
+struct SampleBytes {
+  std::vector<std::byte> profile;
+  std::vector<std::byte> trace;
+
+  SampleBytes() {
+    Cluster cluster;
+    auto cfg = quiet();
+    cfg.ktau.tracing = true;
+    Machine& m = cluster.add_machine(cfg);
+    Task& t = m.spawn("app");
+    t.program = busy_loop(10);
+    m.launch(t);
+    cluster.run();
+    const std::size_t size = m.proc().profile_size(meas::Scope::All);
+    EXPECT_TRUE(m.proc().profile_read(meas::Scope::All, {}, size, profile));
+    trace = m.proc().trace_read(meas::Scope::All);
+  }
+};
+
+TEST(SnapshotCodec, TruncationAtEveryOffsetRejectedNotCrashing) {
+  const SampleBytes sample;
+  ASSERT_NO_THROW(meas::decode_profile(sample.profile));
+  ASSERT_NO_THROW(meas::decode_trace(sample.trace));
+  // The codecs consume every byte they wrote, so any strict prefix must be
+  // detected as truncated — with a typed error, never a crash or an
+  // out-of-bounds read (the ASan CI job leans on this test).
+  for (std::size_t n = 0; n < sample.profile.size(); ++n) {
+    std::vector<std::byte> cut(sample.profile.begin(),
+                               sample.profile.begin() + n);
+    EXPECT_THROW(meas::decode_profile(cut), meas::SnapshotError) << n;
+  }
+  for (std::size_t n = 0; n < sample.trace.size(); ++n) {
+    std::vector<std::byte> cut(sample.trace.begin(),
+                               sample.trace.begin() + n);
+    EXPECT_THROW(meas::decode_trace(cut), meas::SnapshotError) << n;
+  }
+}
+
+TEST(SnapshotCodec, CountBombsRejectedBeforeAllocation) {
+  // Overwriting any 4 adjacent bytes with 0xFF plants a ~4-billion element
+  // count somewhere; the decoder must reject it against the bytes actually
+  // remaining instead of reserving gigabytes (the regression this PR fixes).
+  const SampleBytes sample;
+  for (std::size_t off = 0; off + 4 <= sample.profile.size(); ++off) {
+    auto bomb = sample.profile;
+    for (std::size_t i = 0; i < 4; ++i) bomb[off + i] = std::byte{0xFF};
+    try {
+      meas::decode_profile(bomb);  // surviving decode is fine; crashing isn't
+    } catch (const meas::SnapshotError&) {
+    }
+  }
+}
+
+TEST(SnapshotCodec, SeededByteFlipsNeverCrash) {
+  const SampleBytes sample;
+  sim::Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 400; ++iter) {
+    auto fuzz = sample.profile;
+    const int flips = 1 + iter % 8;
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.next_below(fuzz.size());
+      fuzz[pos] ^= std::byte{static_cast<unsigned char>(rng.uniform(1, 255))};
+    }
+    try {
+      meas::decode_profile(fuzz);
+    } catch (const meas::SnapshotError&) {
+    }
+  }
 }
 
 TEST(TraceBuffer, LossyRingDropsOldest) {

@@ -18,6 +18,27 @@ TEST(OnlineStats, EmptyIsZero) {
   EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(OnlineStats, EmptyExtremaAreNaNNotZero) {
+  // min()/max() of an empty distribution used to report 0.0 — an
+  // impossible-looking but plausible value that silently poisoned
+  // aggregates.  They now return NaN, and empty() makes the state testable.
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-3.0);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
+TEST(Cdf, EmptyExtremaAreNaN) {
+  const Cdf cdf{std::vector<double>{}};
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_TRUE(std::isnan(cdf.min()));
+  EXPECT_TRUE(std::isnan(cdf.max()));
+}
+
 TEST(OnlineStats, MeanVarianceMinMax) {
   OnlineStats s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
