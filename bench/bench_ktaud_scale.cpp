@@ -1,0 +1,218 @@
+// Daemon-based monitoring at scale: many mostly-idle tasks on one node, a
+// periodic KTAUD pulling kernel profiles, legacy full extraction vs the
+// cursor-carrying delta protocol (wire v3).
+//
+// The paper's §2 concern about daemon-based monitoring is that the monitor
+// perturbs the system it measures.  With full snapshots the per-period
+// extraction cost grows with *everything that ever ran* (KTAUD re-ships
+// every task's every row each period); with delta extraction it tracks only
+// what changed since the previous period — on a node full of sleeping
+// daemons, almost nothing.
+//
+// Shape checks (PASS/FAIL lines; exit code = number of FAILs):
+//   - delta extraction moves >= 5x fewer bytes per steady-state period;
+//   - delta extraction moves fewer bytes in total;
+//   - the reassembled delta view carries the same cumulative totals as the
+//     legacy full read (merged through analysis::MergePipeline);
+//   - KTAUD-induced perturbation is strictly lower with deltas (the
+//     monitored app finishes strictly earlier);
+//   - determinism: the delta run is bit-identical across two executions.
+//
+// Results go to stdout and BENCH_dataplane.json.
+#include <algorithm>
+#include <cstdio>
+
+#include "analysis/merge.hpp"
+#include "apps/daemons.hpp"
+#include "bench_util.hpp"
+#include "clients/ktaud.hpp"
+#include "kernel/cluster.hpp"
+
+using namespace ktau;
+
+namespace {
+
+int failures = 0;
+
+void check(const char* what, bool ok) {
+  std::printf("%s: %s\n", what, ok ? "PASS" : "FAIL");
+  if (!ok) ++failures;
+}
+
+struct ScaleRun {
+  std::uint64_t extractions = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t steady_bytes = 0;  // bytes moved by the final period
+  sim::TimeNs app_done = 0;        // monitored app completion time
+  double daemon_cpu_share = 0;     // modelled processing time / horizon
+  // End-state kernel-wide views of the same simulation, one per wire
+  // version: a legacy v2 full read and a v3 delta stream reassembly, both
+  // merged through analysis::MergePipeline.
+  std::vector<analysis::EventRow> merged_v2;
+  std::vector<analysis::EventRow> merged_v3;
+};
+
+kernel::Program app_program(int iters) {
+  for (int i = 0; i < iters; ++i) {
+    co_await kernel::Compute{5 * sim::kMillisecond};
+    co_await kernel::NullSyscall{};
+  }
+}
+
+ScaleRun run_scenario(double scale, bool delta) {
+  const int daemons = std::max(16, static_cast<int>(160 * scale));
+  const int app_iters = std::max(50, static_cast<int>(500 * scale));
+  const sim::TimeNs horizon = 10 * sim::kSecond;
+  const sim::TimeNs ktaud_period = 50 * sim::kMillisecond;
+
+  kernel::Cluster cluster;
+  kernel::MachineConfig mcfg;
+  mcfg.cpus = 1;  // everything contends: perturbation is visible
+  kernel::Machine& m = cluster.add_machine(mcfg);
+
+  // A wall of sleeper daemons: long periods, short bursts, staggered
+  // phases.  At steady state almost all of them are clean in any given
+  // extraction period.
+  for (int d = 0; d < daemons; ++d) {
+    apps::DaemonParams dp;
+    dp.period = 2 * sim::kSecond;
+    dp.burst = 1 * sim::kMillisecond;
+    dp.until = horizon;
+    dp.phase = (d * 2 * sim::kSecond) / daemons;
+    apps::spawn_daemon(m, dp, "sleeper-" + std::to_string(d));
+  }
+
+  // The monitored application: fixed work, so its completion time is a
+  // direct perturbation measurement.
+  kernel::Task& app = m.spawn("app");
+  app.program = app_program(app_iters);
+  m.launch(app);
+
+  clients::KtaudConfig kcfg;
+  kcfg.period = ktaud_period;
+  kcfg.until = horizon;
+  kcfg.collect_traces = false;  // profile data plane under test
+  kcfg.keep_archives = false;   // a real daemon streams, it doesn't hoard
+  kcfg.delta = delta;
+  clients::Ktaud ktaud(m, kcfg);
+
+  cluster.run_until(horizon);
+
+  ScaleRun out;
+  out.extractions = ktaud.extractions();
+  out.total_bytes = ktaud.total_extract_bytes();
+  out.steady_bytes = ktaud.last_extract_bytes();
+  out.app_done = app.end_time;
+  const double charged_cycles = static_cast<double>(
+      (out.total_bytes * kcfg.process_per_kb + 1023) / 1024);
+  out.daemon_cpu_share =
+      charged_cycles / static_cast<double>(mcfg.freq) /
+      (static_cast<double>(horizon) / static_cast<double>(sim::kSecond));
+
+  // End-state views of this simulation through both wire versions.
+  user::KtauHandle v2_handle(m.proc());
+  const meas::ProfileSnapshot v2_snap = v2_handle.get_profile(meas::Scope::All);
+  user::KtauHandle v3_handle(m.proc());
+  const meas::ProfileSnapshot& v3_snap =
+      v3_handle.get_profile_delta(meas::Scope::All);
+  analysis::MergePipeline v2_pipe;
+  v2_pipe.add(v2_snap);
+  out.merged_v2 = v2_pipe.event_rows();
+  analysis::MergePipeline v3_pipe;
+  v3_pipe.add(v3_snap);
+  out.merged_v3 = v3_pipe.event_rows();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::parse_scale(argc, argv, 0.1);
+  bench::print_header(
+      "KTAUD at scale: full vs delta extraction on a sleeper-daemon node",
+      scale);
+
+  const ScaleRun full = run_scenario(scale, false);
+  const ScaleRun delta = run_scenario(scale, true);
+  const ScaleRun delta2 = run_scenario(scale, true);
+
+  std::printf("\nextractions: %llu (both modes)\n",
+              static_cast<unsigned long long>(full.extractions));
+  std::printf("bytes/period at steady state: full %llu, delta %llu "
+              "(%.1fx reduction)\n",
+              static_cast<unsigned long long>(full.steady_bytes),
+              static_cast<unsigned long long>(delta.steady_bytes),
+              delta.steady_bytes
+                  ? static_cast<double>(full.steady_bytes) /
+                        static_cast<double>(delta.steady_bytes)
+                  : 0.0);
+  std::printf("total bytes: full %llu, delta %llu\n",
+              static_cast<unsigned long long>(full.total_bytes),
+              static_cast<unsigned long long>(delta.total_bytes));
+  std::printf("app completion: full %.6f s, delta %.6f s\n",
+              static_cast<double>(full.app_done) / sim::kSecond,
+              static_cast<double>(delta.app_done) / sim::kSecond);
+  std::printf("modelled ktaud cpu share: full %.5f%%, delta %.5f%%\n\n",
+              100 * full.daemon_cpu_share, 100 * delta.daemon_cpu_share);
+
+  check("delta moves >= 5x fewer bytes per steady-state period",
+        delta.steady_bytes > 0 &&
+            full.steady_bytes >= 5 * delta.steady_bytes);
+  check("delta moves fewer bytes in total",
+        delta.total_bytes < full.total_bytes);
+  check("same extraction cadence in both modes",
+        full.extractions == delta.extractions && full.extractions > 100);
+
+  // Same simulation, two wire versions, one merge pipeline: the v3 delta
+  // reassembly must serve the exact rows the legacy v2 read does.
+  bool same_view = delta.merged_v2.size() == delta.merged_v3.size() &&
+                   !delta.merged_v2.empty();
+  if (same_view) {
+    for (std::size_t i = 0; i < delta.merged_v2.size(); ++i) {
+      same_view = same_view &&
+                  delta.merged_v2[i].name == delta.merged_v3[i].name &&
+                  delta.merged_v2[i].count == delta.merged_v3[i].count &&
+                  delta.merged_v2[i].incl_sec == delta.merged_v3[i].incl_sec;
+    }
+  }
+  check("v3 reassembly matches the legacy v2 view", same_view);
+
+  check("ktaud perturbation strictly lower with deltas",
+        delta.app_done < full.app_done && delta.app_done > 0);
+
+  check("delta run is deterministic",
+        delta.total_bytes == delta2.total_bytes &&
+            delta.steady_bytes == delta2.steady_bytes &&
+            delta.app_done == delta2.app_done);
+
+  FILE* f = std::fopen("BENCH_dataplane.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"extractions\": %llu,\n"
+                 "  \"full_steady_bytes_per_period\": %llu,\n"
+                 "  \"delta_steady_bytes_per_period\": %llu,\n"
+                 "  \"full_total_bytes\": %llu,\n"
+                 "  \"delta_total_bytes\": %llu,\n"
+                 "  \"full_app_done_sec\": %.9f,\n"
+                 "  \"delta_app_done_sec\": %.9f,\n"
+                 "  \"full_cpu_share\": %.9f,\n"
+                 "  \"delta_cpu_share\": %.9f,\n"
+                 "  \"failures\": %d\n"
+                 "}\n",
+                 scale, static_cast<unsigned long long>(full.extractions),
+                 static_cast<unsigned long long>(full.steady_bytes),
+                 static_cast<unsigned long long>(delta.steady_bytes),
+                 static_cast<unsigned long long>(full.total_bytes),
+                 static_cast<unsigned long long>(delta.total_bytes),
+                 static_cast<double>(full.app_done) / sim::kSecond,
+                 static_cast<double>(delta.app_done) / sim::kSecond,
+                 full.daemon_cpu_share, delta.daemon_cpu_share, failures);
+    std::fclose(f);
+    std::printf("wrote BENCH_dataplane.json\n");
+  }
+
+  std::printf("\n%d failure(s)\n", failures);
+  return failures;
+}

@@ -1,0 +1,150 @@
+#include "analysis/merge.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace ktau::analysis {
+
+namespace {
+
+double to_sec(sim::Cycles c, sim::FreqHz f) {
+  return f == 0 ? 0.0 : static_cast<double>(c) / static_cast<double>(f);
+}
+
+}  // namespace
+
+MergePipeline& MergePipeline::add(const meas::ProfileSnapshot& snap) {
+  Source s;
+  s.view = &snap;
+  reindex(s);
+  sources_.push_back(std::move(s));
+  return *this;
+}
+
+MergePipeline& MergePipeline::add_frame(std::size_t source,
+                                        const std::vector<std::byte>& bytes) {
+  if (source > sources_.size()) {
+    throw std::logic_error("MergePipeline::add_frame: source keys must be "
+                           "appended densely");
+  }
+  if (source == sources_.size()) {
+    Source s;
+    s.accum = std::make_unique<meas::ProfileAccumulator>();
+    s.view = &s.accum->merged();
+    sources_.push_back(std::move(s));
+  } else if (sources_[source].accum == nullptr) {
+    throw std::logic_error("MergePipeline::add_frame: source was added as a "
+                           "snapshot view, not a frame stream");
+  }
+  Source& s = sources_[source];
+  s.accum->apply(meas::decode_profile(bytes));
+  s.view = &s.accum->merged();
+  reindex(s);
+  return *this;
+}
+
+const meas::ProfileSnapshot& MergePipeline::source(std::size_t i) const {
+  return *sources_.at(i).view;
+}
+
+std::vector<EventRow> MergePipeline::event_rows() const {
+  // Per source: sum by event id first (ids are dense and hashing them is
+  // cheap — this is the same accumulation the kernel-wide view always did),
+  // then fold the per-source totals into name-keyed rows.
+  std::vector<EventRow> rows;
+  std::unordered_map<std::string_view, std::size_t> by_name;
+  for (const Source& s : sources_) {
+    std::unordered_map<meas::EventId, meas::EventEntry> totals;
+    for (const auto& task : s.view->tasks) {
+      for (const auto& ev : task.events) {
+        auto& t = totals[ev.id];
+        t.id = ev.id;
+        t.count += ev.count;
+        t.incl += ev.incl;
+        t.excl += ev.excl;
+      }
+    }
+    for (const auto& [id, t] : totals) {
+      const std::string_view name = s.index.name(id);
+      const auto [it, inserted] = by_name.try_emplace(name, rows.size());
+      if (inserted) {
+        EventRow row;
+        row.name = std::string(name);
+        row.group = s.index.group(id);
+        rows.push_back(std::move(row));
+      }
+      EventRow& row = rows[it->second];
+      row.count += t.count;
+      row.incl_sec += to_sec(t.incl, s.view->cpu_freq);
+      row.excl_sec += to_sec(t.excl, s.view->cpu_freq);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const EventRow& a, const EventRow& b) {
+    return a.incl_sec > b.incl_sec;
+  });
+  return rows;
+}
+
+std::vector<TaskRow> MergePipeline::task_rows() const {
+  std::vector<TaskRow> rows;
+  for (const Source& s : sources_) {
+    for (const auto& task : s.view->tasks) {
+      TaskRow row;
+      row.pid = task.pid;
+      row.name = task.name;
+      for (const auto& ev : task.events) {
+        row.excl_sec += to_sec(ev.excl, s.view->cpu_freq);
+        row.events += ev.count;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const TaskRow& a, const TaskRow& b) {
+    return a.excl_sec > b.excl_sec;
+  });
+  return rows;
+}
+
+std::map<meas::Group, double> MergePipeline::group_totals() const {
+  std::map<meas::Group, double> out;
+  for (const Source& s : sources_) {
+    for (const auto& task : s.view->tasks) {
+      for (const auto& ev : task.events) {
+        out[s.index.group(ev.id)] += to_sec(ev.excl, s.view->cpu_freq);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<EventRow> MergePipeline::kernel_within(
+    std::string_view user_name) const {
+  std::vector<EventRow> rows;
+  std::unordered_map<std::string_view, std::size_t> by_name;
+  for (const Source& s : sources_) {
+    for (const auto& task : s.view->tasks) {
+      for (const auto& br : task.bridge) {
+        if (s.index.name(br.user_event) != user_name) continue;
+        const std::string_view name = s.index.name(br.kernel_event);
+        const auto [it, inserted] = by_name.try_emplace(name, rows.size());
+        if (inserted) {
+          EventRow row;
+          row.name = std::string(name);
+          row.group = s.index.group(br.kernel_event);
+          rows.push_back(std::move(row));
+        }
+        EventRow& row = rows[it->second];
+        row.count += br.count;
+        row.incl_sec += to_sec(br.incl, s.view->cpu_freq);
+        row.excl_sec += to_sec(br.excl, s.view->cpu_freq);
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const EventRow& a, const EventRow& b) {
+    return a.excl_sec > b.excl_sec;
+  });
+  return rows;
+}
+
+}  // namespace ktau::analysis

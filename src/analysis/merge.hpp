@@ -1,0 +1,115 @@
+// analysis::MergePipeline — the single merge-by-name engine behind the
+// integrated views.
+//
+// Event-mapping ids are assigned per kernel in first-invocation order and
+// are NOT stable across nodes (snapshot.hpp), so every cross-node view must
+// merge rows by *name*.  That logic used to be copied — with drift — into
+// the kernel-wide views, the TAU export path, and the experiment harvest
+// loops.  It now lives here once: a pipeline ingests any number of sources
+// (decoded snapshots, or raw wire frames of either version — full v2 or
+// cursor-carrying delta v3, reassembled through meas::ProfileAccumulator)
+// and serves the name-merged aggregates that feed views, traceexport, and
+// the tau exporters.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/views.hpp"
+#include "ktau/snapshot.hpp"
+
+namespace ktau::analysis {
+
+/// O(1) id -> (name, group) lookup over one snapshot's event table
+/// (ProfileSnapshot::event_name is a linear scan; per-row resolution in the
+/// merge loops wants better).  Holds views into the snapshot's strings —
+/// the snapshot must outlive the index.
+class NameIndex {
+ public:
+  NameIndex() = default;
+  explicit NameIndex(const std::vector<meas::EventDesc>& events) {
+    by_id_.reserve(events.size());
+    for (const meas::EventDesc& e : events) {
+      by_id_.emplace(e.id, &e);
+    }
+  }
+
+  /// Empty string_view for unknown ids (same contract as the snapshot).
+  std::string_view name(meas::EventId id) const {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? std::string_view{} : it->second->name;
+  }
+
+  /// Group::Sched for unknown ids (same contract as the snapshot).
+  meas::Group group(meas::EventId id) const {
+    const auto it = by_id_.find(id);
+    return it == by_id_.end() ? meas::Group::Sched : it->second->group;
+  }
+
+ private:
+  std::unordered_map<meas::EventId, const meas::EventDesc*> by_id_;
+};
+
+class MergePipeline {
+ public:
+  MergePipeline() = default;
+
+  MergePipeline(const MergePipeline&) = delete;
+  MergePipeline& operator=(const MergePipeline&) = delete;
+
+  /// Ingests one source's decoded snapshot — a full decode or the merged()
+  /// view of a delta accumulator; both carry cumulative totals.  The
+  /// snapshot must outlive the pipeline (views are not copied).
+  MergePipeline& add(const meas::ProfileSnapshot& snap);
+
+  /// Decodes and ingests a raw wire frame of either version.  Frames from
+  /// one node must share a `source` key (any dense small integer): full
+  /// frames reset that source's state, delta frames accumulate onto it.
+  MergePipeline& add_frame(std::size_t source,
+                           const std::vector<std::byte>& bytes);
+
+  std::size_t source_count() const { return sources_.size(); }
+
+  /// The ingested view of source `i` (reassembled state for frame-fed
+  /// sources).
+  const meas::ProfileSnapshot& source(std::size_t i) const;
+
+  // -- name-merged aggregates ----------------------------------------------
+
+  /// Kernel-wide view across all sources: per-event totals merged by name,
+  /// sorted by inclusive seconds descending (Figure 2-A across a cluster).
+  std::vector<EventRow> event_rows() const;
+
+  /// Per-task totals across all sources, sorted by exclusive seconds
+  /// descending (Figure 7).  Pids repeat across nodes; rows keep source
+  /// order within equal activity.
+  std::vector<TaskRow> task_rows() const;
+
+  /// Exclusive seconds per instrumentation group over everything.
+  std::map<meas::Group, double> group_totals() const;
+
+  /// Kernel events that executed while the named user routine was the user
+  /// context, merged by kernel-event name across all sources and their
+  /// tasks (Figure 4 / Figure 9 across a cluster).  Sorted by exclusive
+  /// seconds descending.
+  std::vector<EventRow> kernel_within(std::string_view user_name) const;
+
+ private:
+  struct Source {
+    const meas::ProfileSnapshot* view = nullptr;  // what queries read
+    NameIndex index;
+    // Present only for frame-fed sources; `view` then points at
+    // accum->merged().
+    std::unique_ptr<meas::ProfileAccumulator> accum;
+  };
+
+  void reindex(Source& s) { s.index = NameIndex(s.view->events); }
+
+  std::vector<Source> sources_;
+};
+
+}  // namespace ktau::analysis

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analysis/merge.hpp"
+
 namespace ktau::analysis {
 
 namespace {
@@ -29,6 +31,7 @@ void export_ktl(std::ostream& os, sim::FreqHz freq,
   for (const TraceStream& s : streams) {
     os << "#stream " << stream_id << " " << s.name << "\n";
     if (s.ktrace != nullptr) {
+      const NameIndex names(s.ktrace->events);
       for (const auto& task : s.ktrace->tasks) {
         if (task.pid != s.pid) continue;
         for (const auto& rec : task.records) {
@@ -36,7 +39,7 @@ void export_ktl(std::ostream& os, sim::FreqHz freq,
           e.ts = rec.timestamp;
           e.stream = stream_id;
           e.is_kernel = true;
-          e.name = std::string(s.ktrace->event_name(rec.event));
+          e.name = std::string(names.name(rec.event));
           switch (rec.type) {
             case meas::TraceType::Entry:
               e.kind = KtlEvent::Kind::Enter;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "analysis/merge.hpp"
 #include "sim/fault.hpp"
 
 namespace ktau::analysis {
@@ -17,51 +18,11 @@ double to_sec(sim::Cycles c, sim::FreqHz f) {
 }  // namespace
 
 std::vector<EventRow> aggregate_events(const meas::ProfileSnapshot& snap) {
-  // Sum by event id, then attach names from the snapshot's event table.
-  std::unordered_map<meas::EventId, meas::EventEntry> totals;
-  for (const auto& task : snap.tasks) {
-    for (const auto& ev : task.events) {
-      auto& t = totals[ev.id];
-      t.id = ev.id;
-      t.count += ev.count;
-      t.incl += ev.incl;
-      t.excl += ev.excl;
-    }
-  }
-  std::vector<EventRow> rows;
-  rows.reserve(totals.size());
-  for (const auto& [id, t] : totals) {
-    EventRow row;
-    row.name = std::string(snap.event_name(id));
-    row.group = snap.event_group(id);
-    row.count = t.count;
-    row.incl_sec = to_sec(t.incl, snap.cpu_freq);
-    row.excl_sec = to_sec(t.excl, snap.cpu_freq);
-    rows.push_back(std::move(row));
-  }
-  std::sort(rows.begin(), rows.end(), [](const EventRow& a, const EventRow& b) {
-    return a.incl_sec > b.incl_sec;
-  });
-  return rows;
+  return MergePipeline{}.add(snap).event_rows();
 }
 
 std::vector<TaskRow> per_task_activity(const meas::ProfileSnapshot& snap) {
-  std::vector<TaskRow> rows;
-  rows.reserve(snap.tasks.size());
-  for (const auto& task : snap.tasks) {
-    TaskRow row;
-    row.pid = task.pid;
-    row.name = task.name;
-    for (const auto& ev : task.events) {
-      row.excl_sec += to_sec(ev.excl, snap.cpu_freq);
-      row.events += ev.count;
-    }
-    rows.push_back(std::move(row));
-  }
-  std::sort(rows.begin(), rows.end(), [](const TaskRow& a, const TaskRow& b) {
-    return a.excl_sec > b.excl_sec;
-  });
-  return rows;
+  return MergePipeline{}.add(snap).task_rows();
 }
 
 std::map<meas::Group, double> group_breakdown(
@@ -110,10 +71,9 @@ std::vector<MergedRow> merged_profile(const meas::ProfileSnapshot& snap,
   std::vector<MergedRow> rows;
 
   // Kernel exclusive seconds inside each user routine, from the bridge.
-  std::unordered_map<meas::EventId, double> kernel_inside;
-  for (const auto& br : task.bridge) {
-    kernel_inside[br.user_event] += to_sec(br.excl, snap.cpu_freq);
-  }
+  const std::unordered_map<meas::EventId, double> kernel_inside =
+      meas::fold_kernel_within(
+          task, [&](sim::Cycles c) { return to_sec(c, snap.cpu_freq); });
 
   for (tau::FuncId f = 0; f < tau_prof.func_count(); ++f) {
     const tau::FuncMetrics& m = tau_prof.metrics(f);

@@ -7,12 +7,15 @@
 namespace ktau::clients {
 
 Adaptd::Adaptd(kernel::Machine& m, const AdaptdConfig& cfg)
-    : machine_(m), cfg_(cfg), handle_(m.proc()) {
+    : machine_(m),
+      cfg_(cfg),
+      handle_(m.proc()),
+      extractor_(handle_, /*pids=*/{}, cfg.delta) {
   prev_cpu_irqs_.assign(machine_.cpu_count(), 0);
-  kernel::Task& t = machine_.spawn("adaptd");
-  t.is_daemon = true;
-  t.program = controller_program();
-  machine_.launch(t);
+  task_ = &machine_.spawn("adaptd");
+  task_->is_daemon = true;
+  task_->program = controller_program();
+  machine_.launch(*task_);
 }
 
 void Adaptd::decide_once() {
@@ -33,12 +36,14 @@ void Adaptd::decide_once() {
   // KTAU view: how much kernel time interrupts actually cost right now
   // (what the controller reports along with its decision).
   observed_irq_sec_ = 0;
-  const auto snap = handle_.get_profile(meas::Scope::All);
+  ExtractStats stats;
+  const meas::ProfileSnapshot& snap = extractor_.extract_profile(stats);
   for (const auto& task : snap.tasks) {
     const auto groups = analysis::group_breakdown(snap, task);
     const auto it = groups.find(meas::Group::Irq);
     if (it != groups.end()) observed_irq_sec_ += it->second;
   }
+  Extractor::charge(*task_, stats, cfg_.process_per_kb);
 
   if (rebalanced_ || machine_.cpu_count() < 2) return;
   if (max_delta < cfg_.min_irqs) return;

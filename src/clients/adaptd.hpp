@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "clients/extract.hpp"
 #include "kernel/machine.hpp"
 #include "libktau/libktau.hpp"
 
@@ -26,6 +27,13 @@ struct AdaptdConfig {
   /// meaningful number of them).
   double imbalance_ratio = 4.0;
   std::uint64_t min_irqs = 50;
+  /// Cursor-carrying delta extraction (wire v3) for the per-period profile
+  /// sample.  Off by default (legacy full reads).
+  bool delta = false;
+  /// User-space processing cost per KiB of extracted profile data, cycles.
+  /// Historically adaptd charged nothing (a drift from ktaud the shared
+  /// extractor now makes explicit); 0 keeps that behavior.
+  std::uint64_t process_per_kb = 0;
 };
 
 class Adaptd {
@@ -57,6 +65,8 @@ class Adaptd {
   kernel::Machine& machine_;
   AdaptdConfig cfg_;
   user::KtauHandle handle_;
+  Extractor extractor_;
+  kernel::Task* task_ = nullptr;
   bool rebalanced_ = false;
   sim::TimeNs rebalanced_at_ = 0;
   std::uint64_t decisions_ = 0;

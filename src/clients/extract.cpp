@@ -1,0 +1,35 @@
+#include "clients/extract.hpp"
+
+namespace ktau::clients {
+
+const meas::ProfileSnapshot& Extractor::extract_profile(ExtractStats& stats) {
+  if (delta_) {
+    const meas::ProfileSnapshot& snap =
+        handle_.get_profile_delta(scope(), pids_);
+    stats.profile_bytes += handle_.last_profile_row_bytes();
+    return snap;
+  }
+  last_full_ = handle_.get_profile(scope(), pids_);
+  for (const auto& t : last_full_.tasks) {
+    stats.profile_bytes += t.events.size() * 28 + t.bridge.size() * 32;
+  }
+  return last_full_;
+}
+
+meas::TraceSnapshot Extractor::extract_trace(ExtractStats& stats) {
+  meas::TraceSnapshot trace = handle_.get_trace(scope(), pids_);
+  for (const auto& t : trace.tasks) {
+    stats.records += t.records.size();
+    stats.dropped += t.dropped;
+    stats.trace_bytes += t.records.size() * sizeof(meas::TraceRecord);
+  }
+  return trace;
+}
+
+void Extractor::charge(kernel::Task& task, const ExtractStats& stats,
+                       std::uint64_t per_kb) {
+  if (task.cpu == nullptr) return;
+  task.cpu->clock.consume_cycles((stats.total_bytes() * per_kb + 1023) / 1024);
+}
+
+}  // namespace ktau::clients

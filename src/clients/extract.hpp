@@ -1,0 +1,76 @@
+// Shared extraction engine for the periodic daemons (paper §4.5).
+//
+// Ktaud and Adaptd used to carry near-identical extract loops (and had
+// drifted on error handling and byte accounting); both now pull their data
+// through one Extractor.  It runs libKtau's size/read retry path in either
+// full-snapshot (legacy) or cursor-carrying delta mode, and owns the byte
+// accounting the daemons charge their simulated processing cost against:
+//
+//   legacy profiles:  decoded row payloads (events*28 + bridge*32 bytes) —
+//                     the historical KTAUD formula, kept bit-identical;
+//   delta profiles:   the same row formula over only the rows the delta
+//                     frame shipped — apples-to-apples with legacy, so the
+//                     saving shows up directly in the charged cost;
+//   traces:           decoded record payloads (records * sizeof(TraceRecord)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/machine.hpp"
+#include "ktau/snapshot.hpp"
+#include "libktau/libktau.hpp"
+
+namespace ktau::clients {
+
+/// Accounting for one extraction period.
+struct ExtractStats {
+  std::uint64_t profile_bytes = 0;  // accounted profile payload
+  std::uint64_t trace_bytes = 0;    // accounted trace payload
+  std::uint64_t records = 0;        // trace records pulled this period
+  std::uint64_t dropped = 0;        // records lost to ring-buffer overwrite
+
+  std::uint64_t total_bytes() const { return profile_bytes + trace_bytes; }
+};
+
+class Extractor {
+ public:
+  /// `pids` empty selects Scope::All, otherwise Scope::Other — the same
+  /// rule both daemons applied.  `delta` switches profile extraction to
+  /// the cursor-carrying wire-v3 reads.
+  Extractor(user::KtauHandle& handle, std::vector<meas::Pid> pids, bool delta)
+      : handle_(handle), pids_(std::move(pids)), delta_(delta) {}
+
+  Extractor(const Extractor&) = delete;
+  Extractor& operator=(const Extractor&) = delete;
+
+  meas::Scope scope() const {
+    return pids_.empty() ? meas::Scope::All : meas::Scope::Other;
+  }
+  bool delta() const { return delta_; }
+
+  /// Profile extraction through the shared retry path.  The returned
+  /// reference is the handle's reassembled cursor cache in delta mode, or
+  /// a freshly decoded full snapshot (stored in the extractor) otherwise;
+  /// either way it holds cumulative totals for every task.  Adds this
+  /// period's accounted profile bytes to `stats`.
+  const meas::ProfileSnapshot& extract_profile(ExtractStats& stats);
+
+  /// Destructive trace drain (always incremental: the kernel ring buffers
+  /// empty on read).  Adds record/byte accounting to `stats`.
+  meas::TraceSnapshot extract_trace(ExtractStats& stats);
+
+  /// Charges the period's user-space processing cost — per_kb cycles per
+  /// KiB of accounted bytes, rounded up — to `task`'s CPU.  No-op for a
+  /// task not currently on a CPU.
+  static void charge(kernel::Task& task, const ExtractStats& stats,
+                     std::uint64_t per_kb);
+
+ private:
+  user::KtauHandle& handle_;
+  std::vector<meas::Pid> pids_;
+  bool delta_ = false;
+  meas::ProfileSnapshot last_full_;
+};
+
+}  // namespace ktau::clients

@@ -3,7 +3,10 @@
 namespace ktau::clients {
 
 Ktaud::Ktaud(kernel::Machine& m, const KtaudConfig& cfg)
-    : machine_(m), cfg_(cfg), handle_(m.proc()) {
+    : machine_(m),
+      cfg_(cfg),
+      handle_(m.proc()),
+      extractor_(handle_, cfg.pids, cfg.delta) {
   task_ = &machine_.spawn("ktaud");
   task_->is_daemon = true;
   task_->program = daemon_program();
@@ -11,31 +14,22 @@ Ktaud::Ktaud(kernel::Machine& m, const KtaudConfig& cfg)
 }
 
 void Ktaud::extract_once() {
-  const meas::Scope scope =
-      cfg_.pids.empty() ? meas::Scope::All : meas::Scope::Other;
-  std::uint64_t bytes = 0;
+  ExtractStats stats;
   if (cfg_.collect_traces) {
-    auto trace = handle_.get_trace(scope, cfg_.pids);
-    for (const auto& t : trace.tasks) {
-      total_records_ += t.records.size();
-      total_dropped_ += t.dropped;
-      bytes += t.records.size() * sizeof(meas::TraceRecord);
-    }
-    traces_.push_back(std::move(trace));
+    auto trace = extractor_.extract_trace(stats);
+    total_records_ += stats.records;
+    total_dropped_ += stats.dropped;
+    if (cfg_.keep_archives) traces_.push_back(std::move(trace));
   }
   if (cfg_.collect_profiles) {
-    auto prof = handle_.get_profile(scope, cfg_.pids);
-    for (const auto& t : prof.tasks) {
-      bytes += t.events.size() * 28 + t.bridge.size() * 32;
-    }
-    profiles_.push_back(std::move(prof));
+    const meas::ProfileSnapshot& prof = extractor_.extract_profile(stats);
+    if (cfg_.keep_archives) profiles_.push_back(prof);
   }
   ++extractions_;
+  last_extract_bytes_ = stats.total_bytes();
+  total_extract_bytes_ += last_extract_bytes_;
   // Charge the daemon's user-space processing cost for what it pulled.
-  if (task_->cpu != nullptr) {
-    task_->cpu->clock.consume_cycles((bytes * cfg_.process_per_kb + 1023) /
-                                     1024);
-  }
+  Extractor::charge(*task_, stats, cfg_.process_per_kb);
 }
 
 kernel::Program Ktaud::daemon_program() {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "clients/extract.hpp"
 #include "kernel/machine.hpp"
 #include "ktau/snapshot.hpp"
 #include "libktau/libktau.hpp"
@@ -26,6 +27,15 @@ struct KtaudConfig {
   std::vector<meas::Pid> pids;
   /// User-space processing cost per KiB of extracted data, cycles.
   std::uint64_t process_per_kb = 2500;
+  /// Cursor-carrying delta extraction (wire v3): each period pulls only
+  /// rows changed since the previous one, so the daemon's per-period
+  /// processing cost — and hence its perturbation of the system — drops
+  /// with the extracted byte count.  Off by default (legacy full reads).
+  bool delta = false;
+  /// Keep per-period snapshot archives in memory (tests read them).  The
+  /// many-task scale bench turns this off, as a real daemon streaming to
+  /// disk would.
+  bool keep_archives = true;
 };
 
 class Ktaud {
@@ -49,6 +59,11 @@ class Ktaud {
   std::uint64_t total_dropped() const { return total_dropped_; }
   std::uint64_t extractions() const { return extractions_; }
 
+  /// Accounted bytes pulled by the most recent extraction period and in
+  /// total (what the processing cost is charged against).
+  std::uint64_t last_extract_bytes() const { return last_extract_bytes_; }
+  std::uint64_t total_extract_bytes() const { return total_extract_bytes_; }
+
   kernel::Task& task() { return *task_; }
 
  private:
@@ -58,6 +73,7 @@ class Ktaud {
   kernel::Machine& machine_;
   KtaudConfig cfg_;
   user::KtauHandle handle_;
+  Extractor extractor_;
   kernel::Task* task_ = nullptr;
 
   std::vector<meas::ProfileSnapshot> profiles_;
@@ -65,6 +81,8 @@ class Ktaud {
   std::uint64_t total_records_ = 0;
   std::uint64_t total_dropped_ = 0;
   std::uint64_t extractions_ = 0;
+  std::uint64_t last_extract_bytes_ = 0;
+  std::uint64_t total_extract_bytes_ = 0;
 };
 
 }  // namespace ktau::clients

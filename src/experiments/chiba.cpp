@@ -413,11 +413,9 @@ ChibaRunResult run_chiba(const ChibaRunConfig& cfg) {
             snap, task, tau.ktau_event(f_recv));
         const auto f_phase = tau.find(compute_phase);
         const auto phase_ev = tau.ktau_event(f_phase);
-        for (const auto& br : task.bridge) {
-          if (br.user_event != phase_ev) continue;
-          if (snap.event_name(br.kernel_event) == "tcp_v4_rcv") {
-            rs.tcp_calls_in_compute += br.count;
-          }
+        for (const auto& krow :
+             analysis::kernel_within_user(snap, task, phase_ev)) {
+          if (krow.name == "tcp_v4_rcv") rs.tcp_calls_in_compute += krow.count;
         }
       }
     }

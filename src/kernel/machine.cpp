@@ -43,6 +43,7 @@ Machine::Machine(sim::Engine& engine, NodeId id, const MachineConfig& cfg)
     cpu->idle_name = "swapper/" + std::to_string(c);
     if (cfg_.ktau.tracing) cpu->idle_prof.enable_trace(cfg_.ktau.trace_capacity);
     cpu->idle_prof.enable_callpath(cfg_.ktau.callpath);
+    cpu->idle_prof.bind_epoch(ktau_.extraction_epoch_ptr());
     cpus_.push_back(std::move(cpu));
   }
 
@@ -63,6 +64,7 @@ Task& Machine::spawn(std::string name, CpuMask affinity,
   task->spawn_time = engine_.now() + start_delay;
   if (cfg_.ktau.tracing) task->prof.enable_trace(cfg_.ktau.trace_capacity);
   task->prof.enable_callpath(cfg_.ktau.callpath);
+  task->prof.bind_epoch(ktau_.extraction_epoch_ptr());
   Task& ref = *task;
   tasks_.push_back(std::move(task));
   by_pid_[ref.pid] = &ref;

@@ -94,8 +94,7 @@ std::string format_groups(GroupMask mask) {
 EventId EventRegistry::map(std::string_view name, Group group) {
   const auto it = by_name_.find(std::string(name));
   if (it != by_name_.end()) return it->second;
-  const auto id = static_cast<EventId>(events_.size());
-  events_.push_back(EventInfo{std::string(name), group});
+  const EventId id = names_.intern(std::string(name), group);
   by_name_.emplace(std::string(name), id);
   return id;
 }

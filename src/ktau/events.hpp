@@ -72,6 +72,34 @@ struct EventInfo {
   Group group = Group::Sched;
 };
 
+/// Append-only interned store of event names, tagged with a generation
+/// counter.  Ids are indices; entries are never removed or renamed, so a
+/// client that has already fetched the first `n` entries only needs
+/// [n, size()) to catch up — the property delta snapshots rely on to avoid
+/// re-shipping the whole name table on every extraction.  The generation
+/// (== number of appends) lets callers detect additions without comparing
+/// sizes across an ABI boundary.
+class NameTable {
+ public:
+  /// Appends an entry and returns its id (the previous size()).
+  EventId intern(std::string name, Group group) {
+    const auto id = static_cast<EventId>(entries_.size());
+    entries_.push_back(EventInfo{std::move(name), group});
+    ++generation_;
+    return id;
+  }
+
+  const EventInfo& info(EventId id) const { return entries_.at(id); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Bumped on every intern(); never decreases.
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::vector<EventInfo> entries_;
+  std::uint64_t generation_ = 0;
+};
+
 /// The global event mapping index (paper §4.1, "event mapping" macro).
 ///
 /// One registry exists per kernel instance.  map() binds a name to an id on
@@ -88,13 +116,16 @@ class EventRegistry {
   EventId find(std::string_view name) const;
 
   /// Metadata for an allocated id.  Throws std::out_of_range for bad ids.
-  const EventInfo& info(EventId id) const { return events_.at(id); }
+  const EventInfo& info(EventId id) const { return names_.info(id); }
 
   /// Number of allocated ids (== the global mapping index value).
-  std::size_t size() const { return events_.size(); }
+  std::size_t size() const { return names_.size(); }
+
+  /// The interned name store (generation-tagged, append-only).
+  const NameTable& names() const { return names_; }
 
  private:
-  std::vector<EventInfo> events_;
+  NameTable names_;
   std::unordered_map<std::string, EventId> by_name_;
 };
 

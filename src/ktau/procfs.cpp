@@ -50,6 +50,30 @@ bool ProcKtau::profile_read(Scope scope, std::span<const Pid> pids,
   return true;
 }
 
+std::size_t ProcKtau::profile_size(Scope scope, std::span<const Pid> pids,
+                                   ProfileCursor cursor) const {
+  const auto selected =
+      select(scope, pids, /*include_reaped=*/scope == Scope::All);
+  return encode_profile_delta(sys_.registry(), now_(), cpu_freq_, selected,
+                              cursor, sys_.extraction_epoch() + 1)
+      .size();
+}
+
+bool ProcKtau::profile_read(Scope scope, std::span<const Pid> pids,
+                            ProfileCursor cursor, std::size_t capacity,
+                            std::vector<std::byte>& out) {
+  out.clear();
+  const auto selected =
+      select(scope, pids, /*include_reaped=*/scope == Scope::All);
+  auto bytes = encode_profile_delta(sys_.registry(), now_(), cpu_freq_,
+                                    selected, cursor,
+                                    sys_.extraction_epoch() + 1);
+  if (bytes.size() > capacity) return false;  // grew since the size call
+  out = std::move(bytes);
+  sys_.advance_extraction_epoch();
+  return true;
+}
+
 std::vector<std::byte> ProcKtau::trace_read(Scope scope,
                                             std::span<const Pid> pids) {
   const auto selected = select(scope, pids, /*include_reaped=*/false);

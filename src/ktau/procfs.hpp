@@ -81,6 +81,25 @@ class ProcKtau {
   bool profile_read(Scope scope, std::span<const Pid> pids,
                     std::size_t capacity, std::vector<std::byte>& out) const;
 
+  // -- cursor-carrying delta reads (wire version 3) -------------------------
+  //
+  // Same session-less two-call protocol, but the client presents the cursor
+  // it got from its previous read and receives only rows stamped since then
+  // plus name-table additions.  The kernel still keeps no per-client state:
+  // the cursor lives entirely client-side (libKtau's ProfileAccumulator).
+  // A successful read advances the system extraction epoch so the next
+  // period's mutations are distinguishable from this one's.
+
+  /// Size a delta read with this cursor would produce right now.
+  std::size_t profile_size(Scope scope, std::span<const Pid> pids,
+                           ProfileCursor cursor) const;
+
+  /// Serializes rows changed since `cursor` and advances the extraction
+  /// epoch on success.  Same capacity/retry contract as the full read.
+  bool profile_read(Scope scope, std::span<const Pid> pids,
+                    ProfileCursor cursor, std::size_t capacity,
+                    std::vector<std::byte>& out);
+
   // -- /proc/ktau/trace -----------------------------------------------------
 
   /// Drains trace buffers for the scope and serializes the result.  This is

@@ -26,7 +26,10 @@ void AtomicMetrics::merge(const AtomicMetrics& o) {
   sum += o.sum;
   min = std::min(min, o.min);
   max = std::max(max, o.max);
+  epoch = std::max(epoch, o.epoch);
 }
+
+const std::uint64_t TaskProfile::kUnboundEpoch = 1;
 
 EventMetrics& TaskProfile::slot(EventId ev) {
   if (ev >= events_.size()) {
@@ -59,10 +62,12 @@ sim::Cycles TaskProfile::exit(EventId ev, sim::Cycles now) {
   }
   const sim::Cycles incl = now - frame.start;
   const sim::Cycles excl = incl >= frame.child ? incl - frame.child : 0;
+  const std::uint64_t epoch = *epoch_src_;
   EventMetrics& m = slot(ev);
   ++m.count;
   m.incl += incl;
   m.excl += excl;
+  m.epoch = epoch;
   if (!stack_.empty()) stack_.back().child += incl;
   if (callpath_) {
     const EventId parent = stack_.empty() ? kCallpathRoot : stack_.back().ev;
@@ -70,17 +75,25 @@ sim::Cycles TaskProfile::exit(EventId ev, sim::Cycles now) {
     ++e.count;
     e.incl += incl;
     e.excl += excl;
+    e.epoch = epoch;
   }
   if (user_context_ != kNoEventId) {
     EventMetrics& b = bridge_[bridge_key(user_context_, ev)];
     ++b.count;
     b.incl += incl;
     b.excl += excl;
+    b.epoch = epoch;
   }
+  dirty_epoch_ = epoch;
   return incl;
 }
 
-void TaskProfile::atomic(EventId ev, double value) { atomics_[ev].add(value); }
+void TaskProfile::atomic(EventId ev, double value) {
+  AtomicMetrics& am = atomics_[ev];
+  am.add(value);
+  am.epoch = *epoch_src_;
+  dirty_epoch_ = am.epoch;
+}
 
 const EventMetrics& TaskProfile::metrics(EventId ev) const {
   static const EventMetrics kEmpty;
@@ -99,6 +112,7 @@ void TaskProfile::merge(const TaskProfile& other) {
   for (const auto& [key, m] : other.bridge_) bridge_[key].merge(m);
   for (const auto& [key, m] : other.edges_) edges_[key].merge(m);
   callpath_ = callpath_ || other.callpath_;
+  dirty_epoch_ = std::max(dirty_epoch_, other.dirty_epoch_);
 }
 
 }  // namespace ktau::meas

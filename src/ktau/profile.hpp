@@ -33,11 +33,13 @@ struct EventMetrics {
   std::uint64_t count = 0;
   sim::Cycles incl = 0;  // inclusive cycles (includes child events)
   sim::Cycles excl = 0;  // exclusive cycles (child time subtracted)
+  std::uint64_t epoch = 0;  // extraction epoch of the last mutation
 
   void merge(const EventMetrics& o) {
     count += o.count;
     incl += o.incl;
     excl += o.excl;
+    epoch = epoch > o.epoch ? epoch : o.epoch;
   }
 };
 
@@ -47,6 +49,7 @@ struct AtomicMetrics {
   double sum = 0;
   double min = 0;
   double max = 0;
+  std::uint64_t epoch = 0;  // extraction epoch of the last mutation
 
   void add(double v);
   void merge(const AtomicMetrics& o);
@@ -102,6 +105,20 @@ class TaskProfile {
   /// and for preserving the profiles of exited tasks).
   void merge(const TaskProfile& other);
 
+  // -- dirty epochs (delta snapshot support) --------------------------------
+
+  /// Binds the extraction-epoch counter whose current value stamps every
+  /// mutated row.  The kernel binds all task (and idle) profiles to its
+  /// KtauSystem's epoch at creation; unbound profiles stamp the constant 1,
+  /// which keeps every row "dirty since epoch 1" (full snapshots see
+  /// everything, and stand-alone TaskProfiles in tests need no setup).
+  void bind_epoch(const std::uint64_t* epoch) { epoch_src_ = epoch; }
+
+  /// Epoch of the most recent row mutation anywhere in this profile (0 if
+  /// nothing has ever been recorded).  Lets delta serialization skip whole
+  /// clean tasks without walking their rows.
+  std::uint64_t dirty_epoch() const { return dirty_epoch_; }
+
   // -- user-context bridge (TAU integration) -------------------------------
 
   /// Set by the user-level measurement layer when the process enters/leaves
@@ -143,6 +160,11 @@ class TaskProfile {
 
   EventMetrics& slot(EventId ev);
 
+  /// Epoch source for unbound profiles: a constant 1, so rows are always
+  /// newer than the "never extracted" cursor (epoch 0) yet need no branch
+  /// on the probe hot path.
+  static const std::uint64_t kUnboundEpoch;
+
   std::vector<EventMetrics> events_;
   std::vector<Frame> stack_;
   std::unordered_map<EventId, AtomicMetrics> atomics_;
@@ -151,6 +173,8 @@ class TaskProfile {
   MetricsMap edges_;
   EventId user_context_ = kNoEventId;
   std::unique_ptr<TraceBuffer> trace_;
+  const std::uint64_t* epoch_src_ = &kUnboundEpoch;
+  std::uint64_t dirty_epoch_ = 0;
 };
 
 }  // namespace ktau::meas

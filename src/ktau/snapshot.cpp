@@ -1,5 +1,6 @@
 #include "ktau/snapshot.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -8,7 +9,8 @@ namespace {
 
 constexpr std::uint32_t kProfileMagic = 0x4B544155;  // "KTAU"
 constexpr std::uint32_t kTraceMagic = 0x4B545243;    // "KTRC"
-constexpr std::uint32_t kVersion = 2;  // v2 added call-path edge rows
+constexpr std::uint32_t kVersionFull = 2;   // v2 added call-path edge rows
+constexpr std::uint32_t kVersionDelta = 3;  // v3 added cursor-carrying deltas
 
 class ByteWriter {
  public:
@@ -90,13 +92,80 @@ constexpr std::size_t kMinKeyedRowBytes = 8 + 8 + 8 + 8;       // bridge/edge
 constexpr std::size_t kMinTraceTaskBytes = 4 + 4 + 8 + 4;      // pid+len+drop+n
 constexpr std::size_t kMinTraceRecBytes = 8 + 4 + 1 + 8;
 
-void encode_event_table(ByteWriter& w, const EventRegistry& registry) {
-  w.u32(static_cast<std::uint32_t>(registry.size()));
-  for (EventId id = 0; id < registry.size(); ++id) {
+void encode_event_table(ByteWriter& w, const EventRegistry& registry,
+                        EventId from = 0) {
+  w.u32(static_cast<std::uint32_t>(registry.size() - from));
+  for (EventId id = from; id < registry.size(); ++id) {
     const EventInfo& info = registry.info(id);
     w.u32(id);
     w.u32(mask_of(info.group));
     w.str(info.name);
+  }
+}
+
+// Serializes one task's profile body, emitting only rows stamped at or
+// after `min_epoch`.  min_epoch == 0 keeps every row and is the (byte-
+// identical) full-snapshot path; ordering is the same either way, which is
+// what makes a zero-cursor delta frame decode identically to a full one.
+void encode_task_body(ByteWriter& w, const TaskSnapshotInput& t,
+                      std::uint64_t min_epoch) {
+  w.u32(t.pid);
+  w.str(t.name != nullptr ? *t.name : std::string_view{});
+  const TaskProfile& prof = *t.profile;
+
+  // Only emit rows with activity; ids are sparse per process.
+  std::uint32_t live = 0;
+  for (const auto& m : prof.all_metrics()) {
+    if (m.count != 0 && m.epoch >= min_epoch) ++live;
+  }
+  w.u32(live);
+  for (EventId id = 0; id < prof.all_metrics().size(); ++id) {
+    const EventMetrics& m = prof.all_metrics()[id];
+    if (m.count == 0 || m.epoch < min_epoch) continue;
+    w.u32(id);
+    w.u64(m.count);
+    w.u64(m.incl);
+    w.u64(m.excl);
+  }
+
+  std::uint32_t nat = 0;
+  for (const auto& [id, am] : prof.atomics()) {
+    if (am.epoch >= min_epoch) ++nat;
+  }
+  w.u32(nat);
+  for (const auto& [id, am] : prof.atomics()) {
+    if (am.epoch < min_epoch) continue;
+    w.u32(id);
+    w.u64(am.count);
+    w.f64(am.sum);
+    w.f64(am.min);
+    w.f64(am.max);
+  }
+
+  std::uint32_t nbr = 0;
+  for (const auto& [key, m] : prof.bridge()) {
+    if (m.epoch >= min_epoch) ++nbr;
+  }
+  w.u32(nbr);
+  for (const auto& [key, m] : prof.bridge()) {
+    if (m.epoch < min_epoch) continue;
+    w.u64(key);
+    w.u64(m.count);
+    w.u64(m.incl);
+    w.u64(m.excl);
+  }
+
+  std::uint32_t ncp = 0;
+  for (const auto& [key, m] : prof.edges()) {
+    if (m.epoch >= min_epoch) ++ncp;
+  }
+  w.u32(ncp);
+  for (const auto& [key, m] : prof.edges()) {
+    if (m.epoch < min_epoch) continue;
+    w.u64(key);
+    w.u64(m.count);
+    w.u64(m.incl);
+    w.u64(m.excl);
   }
 }
 
@@ -142,55 +211,42 @@ std::vector<std::byte> encode_profile(
     const std::vector<TaskSnapshotInput>& tasks) {
   ByteWriter w;
   w.u32(kProfileMagic);
-  w.u32(kVersion);
+  w.u32(kVersionFull);
   w.u64(timestamp);
   w.u64(cpu_freq);
   encode_event_table(w, registry);
   w.u32(static_cast<std::uint32_t>(tasks.size()));
   for (const TaskSnapshotInput& t : tasks) {
-    w.u32(t.pid);
-    w.str(t.name != nullptr ? *t.name : std::string_view{});
-    const TaskProfile& prof = *t.profile;
+    encode_task_body(w, t, /*min_epoch=*/0);
+  }
+  return w.take();
+}
 
-    // Only emit rows with activity; ids are sparse per process.
-    std::uint32_t live = 0;
-    for (const auto& m : prof.all_metrics()) {
-      if (m.count != 0) ++live;
-    }
-    w.u32(live);
-    for (EventId id = 0; id < prof.all_metrics().size(); ++id) {
-      const EventMetrics& m = prof.all_metrics()[id];
-      if (m.count == 0) continue;
-      w.u32(id);
-      w.u64(m.count);
-      w.u64(m.incl);
-      w.u64(m.excl);
-    }
-
-    w.u32(static_cast<std::uint32_t>(prof.atomics().size()));
-    for (const auto& [id, am] : prof.atomics()) {
-      w.u32(id);
-      w.u64(am.count);
-      w.f64(am.sum);
-      w.f64(am.min);
-      w.f64(am.max);
-    }
-
-    w.u32(static_cast<std::uint32_t>(prof.bridge().size()));
-    for (const auto& [key, m] : prof.bridge()) {
-      w.u64(key);
-      w.u64(m.count);
-      w.u64(m.incl);
-      w.u64(m.excl);
-    }
-
-    w.u32(static_cast<std::uint32_t>(prof.edges().size()));
-    for (const auto& [key, m] : prof.edges()) {
-      w.u64(key);
-      w.u64(m.count);
-      w.u64(m.incl);
-      w.u64(m.excl);
-    }
+std::vector<std::byte> encode_profile_delta(
+    const EventRegistry& registry, sim::TimeNs timestamp, sim::FreqHz cpu_freq,
+    const std::vector<TaskSnapshotInput>& tasks, ProfileCursor cursor,
+    std::uint64_t next_epoch) {
+  ByteWriter w;
+  w.u32(kProfileMagic);
+  w.u32(kVersionDelta);
+  w.u64(timestamp);
+  w.u64(cpu_freq);
+  w.u64(cursor.epoch);
+  w.u64(next_epoch);
+  // Clamp defensively: a cursor from a different kernel could claim more
+  // names than this registry holds.
+  const auto name_base = static_cast<EventId>(
+      std::min<std::size_t>(cursor.names, registry.size()));
+  w.u32(name_base);
+  encode_event_table(w, registry, name_base);
+  std::uint32_t dirty = 0;
+  for (const TaskSnapshotInput& t : tasks) {
+    if (cursor.epoch == 0 || t.profile->dirty_epoch() >= cursor.epoch) ++dirty;
+  }
+  w.u32(dirty);
+  for (const TaskSnapshotInput& t : tasks) {
+    if (cursor.epoch != 0 && t.profile->dirty_epoch() < cursor.epoch) continue;
+    encode_task_body(w, t, cursor.epoch);
   }
   return w.take();
 }
@@ -200,12 +256,19 @@ ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes) {
   if (r.u32() != kProfileMagic) {
     throw SnapshotError("KTAU profile snapshot: bad magic");
   }
-  if (r.u32() != kVersion) {
+  const std::uint32_t version = r.u32();
+  if (version != kVersionFull && version != kVersionDelta) {
     throw SnapshotError("KTAU profile snapshot: unsupported version");
   }
   ProfileSnapshot snap;
   snap.timestamp = r.u64();
   snap.cpu_freq = r.u64();
+  if (version == kVersionDelta) {
+    snap.delta = true;
+    snap.base_epoch = r.u64();
+    snap.next_epoch = r.u64();
+    snap.name_base = r.u32();
+  }
   snap.events = decode_event_table(r);
   const std::uint32_t ntasks = r.count(kMinTaskBytes);
   snap.tasks.reserve(ntasks);
@@ -268,7 +331,7 @@ std::vector<std::byte> encode_trace(const EventRegistry& registry,
                                     const std::vector<TaskTraceInput>& tasks) {
   ByteWriter w;
   w.u32(kTraceMagic);
-  w.u32(kVersion);
+  w.u32(kVersionFull);
   w.u64(timestamp);
   w.u64(cpu_freq);
   encode_event_table(w, registry);
@@ -294,7 +357,7 @@ TraceSnapshot decode_trace(const std::vector<std::byte>& bytes) {
   if (r.u32() != kTraceMagic) {
     throw SnapshotError("KTAU trace snapshot: bad magic");
   }
-  if (r.u32() != kVersion) {
+  if (r.u32() != kVersionFull) {
     throw SnapshotError("KTAU trace snapshot: unsupported version");
   }
   TraceSnapshot snap;
@@ -321,6 +384,94 @@ TraceSnapshot decode_trace(const std::vector<std::byte>& bytes) {
     snap.tasks.push_back(std::move(t));
   }
   return snap;
+}
+
+void ProfileAccumulator::reset() {
+  merged_ = ProfileSnapshot{};
+  cursor_ = ProfileCursor{};
+  task_index_.clear();
+}
+
+void ProfileAccumulator::apply(const ProfileSnapshot& snap) {
+  if (!snap.delta || snap.base_epoch == 0) {
+    // Full state (legacy frame or zero-cursor delta frame): replace.
+    merged_ = snap;
+    merged_.delta = false;
+    merged_.base_epoch = 0;
+    merged_.name_base = 0;
+    task_index_.clear();
+    for (std::size_t i = 0; i < merged_.tasks.size(); ++i) {
+      task_index_[merged_.tasks[i].pid] = i;
+    }
+  } else {
+    merged_.timestamp = snap.timestamp;
+    merged_.cpu_freq = snap.cpu_freq;
+    // Name-table additions arrive densely (ids == positions); tolerate
+    // re-sent prefixes from an over-conservative encoder.
+    for (const EventDesc& d : snap.events) {
+      if (d.id < merged_.events.size()) continue;
+      merged_.events.push_back(d);
+    }
+    for (const TaskProfileData& t : snap.tasks) upsert_task(t);
+  }
+  cursor_.epoch = snap.next_epoch;
+  cursor_.names = static_cast<std::uint32_t>(merged_.events.size());
+}
+
+void ProfileAccumulator::upsert_task(const TaskProfileData& incoming) {
+  const auto [it, inserted] =
+      task_index_.try_emplace(incoming.pid, merged_.tasks.size());
+  if (inserted) {
+    merged_.tasks.push_back(incoming);
+    return;
+  }
+  TaskProfileData& t = merged_.tasks[it->second];
+  t.name = incoming.name;
+  // Delta rows carry full cumulative values; replace in place or append.
+  // Row sets per task are small (tens), so linear matching beats the
+  // bookkeeping of per-task hash indexes.
+  for (const EventEntry& e : incoming.events) {
+    const auto pos = std::find_if(t.events.begin(), t.events.end(),
+                                  [&](const EventEntry& x) { return x.id == e.id; });
+    if (pos != t.events.end()) {
+      *pos = e;
+    } else {
+      t.events.push_back(e);
+    }
+  }
+  for (const AtomicEntry& a : incoming.atomics) {
+    const auto pos = std::find_if(t.atomics.begin(), t.atomics.end(),
+                                  [&](const AtomicEntry& x) { return x.id == a.id; });
+    if (pos != t.atomics.end()) {
+      *pos = a;
+    } else {
+      t.atomics.push_back(a);
+    }
+  }
+  for (const BridgeEntry& b : incoming.bridge) {
+    const auto pos = std::find_if(t.bridge.begin(), t.bridge.end(),
+                                  [&](const BridgeEntry& x) {
+                                    return x.user_event == b.user_event &&
+                                           x.kernel_event == b.kernel_event;
+                                  });
+    if (pos != t.bridge.end()) {
+      *pos = b;
+    } else {
+      t.bridge.push_back(b);
+    }
+  }
+  for (const EdgeEntry& e : incoming.edges) {
+    const auto pos = std::find_if(t.edges.begin(), t.edges.end(),
+                                  [&](const EdgeEntry& x) {
+                                    return x.parent == e.parent &&
+                                           x.child == e.child;
+                                  });
+    if (pos != t.edges.end()) {
+      *pos = e;
+    } else {
+      t.edges.push_back(e);
+    }
+  }
 }
 
 }  // namespace ktau::meas

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ktau/events.hpp"
@@ -39,6 +40,8 @@ struct EventDesc {
   EventId id = 0;
   Group group = Group::Sched;
   std::string name;
+
+  bool operator==(const EventDesc&) const = default;
 };
 
 /// Per-event profile row in a snapshot.
@@ -47,6 +50,8 @@ struct EventEntry {
   std::uint64_t count = 0;
   sim::Cycles incl = 0;
   sim::Cycles excl = 0;
+
+  bool operator==(const EventEntry&) const = default;
 };
 
 struct AtomicEntry {
@@ -55,6 +60,8 @@ struct AtomicEntry {
   double sum = 0;
   double min = 0;
   double max = 0;
+
+  bool operator==(const AtomicEntry&) const = default;
 };
 
 /// (user event, kernel event) bridge row in a snapshot.
@@ -64,6 +71,8 @@ struct BridgeEntry {
   std::uint64_t count = 0;
   sim::Cycles incl = 0;
   sim::Cycles excl = 0;
+
+  bool operator==(const BridgeEntry&) const = default;
 };
 
 /// Call-path (caller -> callee) edge row; parent == kCallpathRoot for
@@ -74,6 +83,8 @@ struct EdgeEntry {
   std::uint64_t count = 0;
   sim::Cycles incl = 0;
   sim::Cycles excl = 0;
+
+  bool operator==(const EdgeEntry&) const = default;
 };
 
 /// One process's decoded profile.
@@ -84,20 +95,59 @@ struct TaskProfileData {
   std::vector<AtomicEntry> atomics;
   std::vector<BridgeEntry> bridge;
   std::vector<EdgeEntry> edges;  // call-path rows (empty unless enabled)
+
+  bool operator==(const TaskProfileData&) const = default;
 };
 
-/// A full decoded profile snapshot.
+/// Client-held position in a kernel's extraction stream (the two-call proc
+/// protocol stays session-less: the *client* keeps the cursor and presents
+/// it on each read; the kernel stores nothing per client).
+struct ProfileCursor {
+  /// Extraction epoch of the last read + 1; 0 means "never read" and makes
+  /// the next read a full snapshot.
+  std::uint64_t epoch = 0;
+  /// Number of name-table entries already held; the kernel ships only
+  /// entries [names, registry size).
+  std::uint32_t names = 0;
+
+  bool operator==(const ProfileCursor&) const = default;
+};
+
+/// A decoded profile snapshot — either a full snapshot or, when
+/// `delta` is true, only the rows changed since `base_epoch` plus the
+/// name-table entries from `name_base` on.
 struct ProfileSnapshot {
   sim::TimeNs timestamp = 0;
   sim::FreqHz cpu_freq = 0;  // for cycle <-> time conversion in analysis
   std::vector<EventDesc> events;
   std::vector<TaskProfileData> tasks;
 
+  // Delta framing (wire version 3).  Legacy full frames decode with
+  // delta == false and zeros here.
+  bool delta = false;
+  std::uint64_t base_epoch = 0;  // cursor the frame is relative to (0 = full)
+  std::uint64_t next_epoch = 0;  // cursor epoch to present on the next read
+  std::uint32_t name_base = 0;   // registry id of events[0] in a delta frame
+
   /// Name lookup; returns empty string_view for unknown ids.
   std::string_view event_name(EventId id) const;
   /// Group lookup; defaults to Sched for unknown ids.
   Group event_group(EventId id) const;
 };
+
+/// Folds one task's (user event × kernel event) bridge rows by user event:
+/// out[user_event] = Σ conv(row.excl).  The per-row conversion order is part
+/// of the contract — callers sum in their own unit (seconds, µs) and must
+/// get bit-identical results to the loops this helper replaced.
+template <typename Conv>
+std::unordered_map<EventId, double> fold_kernel_within(
+    const TaskProfileData& task, Conv conv) {
+  std::unordered_map<EventId, double> out;
+  for (const BridgeEntry& br : task.bridge) {
+    out[br.user_event] += conv(br.excl);
+  }
+  return out;
+}
 
 /// One process's decoded trace.
 struct TaskTraceData {
@@ -131,6 +181,18 @@ std::vector<std::byte> encode_profile(const EventRegistry& registry,
                                       sim::FreqHz cpu_freq,
                                       const std::vector<TaskSnapshotInput>& tasks);
 
+/// Serializes a delta frame (wire version 3) relative to `cursor`: only
+/// name-table entries from cursor.names on, only tasks dirty since
+/// cursor.epoch, and within them only rows stamped >= cursor.epoch.  With a
+/// zero cursor this emits the same structures in the same order as
+/// encode_profile (a v3-framed full snapshot).  `next_epoch` is the cursor
+/// epoch the client must present on its next read (the kernel's current
+/// extraction epoch + 1).
+std::vector<std::byte> encode_profile_delta(
+    const EventRegistry& registry, sim::TimeNs timestamp, sim::FreqHz cpu_freq,
+    const std::vector<TaskSnapshotInput>& tasks, ProfileCursor cursor,
+    std::uint64_t next_epoch);
+
 /// Serializes trace data.  Draining the per-task ring buffers is the
 /// caller's job (it is a destructive read); this just encodes the result.
 struct TaskTraceInput {
@@ -146,13 +208,41 @@ std::vector<std::byte> encode_trace(const EventRegistry& registry,
 
 // -- decoding (user side, used by libKtau) ----------------------------------
 
-/// Parses a profile snapshot.  Throws SnapshotError on malformed input;
-/// element counts are validated against the remaining bytes before any
-/// allocation, so corrupt counts cannot trigger huge reserves.
+/// Parses a profile snapshot, full (wire version 2) or delta (version 3).
+/// Throws SnapshotError on malformed input; element counts are validated
+/// against the remaining bytes before any allocation, so corrupt counts
+/// cannot trigger huge reserves.
 ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes);
 
 /// Parses a trace snapshot.  Throws SnapshotError on malformed input (same
 /// allocation guarantees as decode_profile).
 TraceSnapshot decode_trace(const std::vector<std::byte>& bytes);
+
+/// Client-side reassembly of full profile state from a stream of full and
+/// delta frames — the per-pid cursor cache behind libKtau's delta mode.
+/// Full frames reset the state; delta frames upsert changed rows (delta
+/// rows carry full cumulative values, not differences) keyed on
+/// (pid, row id) and append name-table additions.
+class ProfileAccumulator {
+ public:
+  /// Folds a decoded frame into the cached state and advances the cursor.
+  void apply(const ProfileSnapshot& snap);
+
+  /// Cursor to present on the next cursor-carrying read.
+  ProfileCursor cursor() const { return cursor_; }
+
+  /// The reassembled snapshot (equivalent in content to a full read).
+  const ProfileSnapshot& merged() const { return merged_; }
+
+  /// Drops all cached state; the next read becomes a full snapshot.
+  void reset();
+
+ private:
+  void upsert_task(const TaskProfileData& incoming);
+
+  ProfileSnapshot merged_;
+  ProfileCursor cursor_;
+  std::unordered_map<Pid, std::size_t> task_index_;
+};
 
 }  // namespace ktau::meas

@@ -104,6 +104,24 @@ class KtauSystem {
   /// Total cycles of measurement overhead injected into the system.
   sim::Cycles total_overhead_cycles() const { return total_overhead_; }
 
+  // -- extraction epochs (delta snapshot support) ---------------------------
+
+  /// Monotonic extraction epoch.  Rows mutated while the epoch is E are
+  /// stamped E; a cursor-carrying profile read with cursor epoch C returns
+  /// rows stamped >= C and advances the epoch, so each client sees every
+  /// mutation exactly once.  Starts at 1 (cursor 0 means "never read" and
+  /// selects everything).
+  std::uint64_t extraction_epoch() const { return extraction_epoch_; }
+
+  /// Stable address of the epoch counter, bound into task profiles so row
+  /// stamping is a single indirect load on the probe path.
+  const std::uint64_t* extraction_epoch_ptr() const {
+    return &extraction_epoch_;
+  }
+
+  /// Called by the proc interface after a successful cursor-carrying read.
+  void advance_extraction_epoch() { ++extraction_epoch_; }
+
   // -- exited-task bookkeeping ----------------------------------------------
 
   /// Called by the kernel when a process dies; preserves its profile for
@@ -126,6 +144,7 @@ class KtauSystem {
   sim::OnlineStats start_overhead_;
   sim::OnlineStats stop_overhead_;
   sim::Cycles total_overhead_ = 0;
+  std::uint64_t extraction_epoch_ = 1;
   std::vector<ReapedTask> reaped_;
 };
 

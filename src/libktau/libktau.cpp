@@ -19,9 +19,34 @@ meas::ProfileSnapshot KtauHandle::get_profile(meas::Scope scope,
   std::vector<std::byte> buf;
   for (int attempt = 0; attempt < 8; ++attempt) {
     if (proc_.profile_read(scope, pids, capacity, buf)) {
+      last_profile_wire_bytes_ = buf.size();
       return meas::decode_profile(buf);
     }
     capacity = proc_.profile_size(scope, pids);
+  }
+  throw std::runtime_error(
+      "libKtau: profile size kept changing; giving up after bounded retries");
+}
+
+const meas::ProfileSnapshot& KtauHandle::get_profile_delta(
+    meas::Scope scope, std::span<const meas::Pid> pids) {
+  // Same retry discipline as get_profile; the cursor does not change across
+  // retries (only a successful read advances the kernel's epoch).
+  const meas::ProfileCursor cursor = cache_.cursor();
+  std::size_t capacity = proc_.profile_size(scope, pids, cursor);
+  std::vector<std::byte> buf;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (proc_.profile_read(scope, pids, cursor, capacity, buf)) {
+      last_profile_wire_bytes_ = buf.size();
+      const meas::ProfileSnapshot frame = meas::decode_profile(buf);
+      last_profile_row_bytes_ = 0;
+      for (const auto& t : frame.tasks) {
+        last_profile_row_bytes_ += t.events.size() * 28 + t.bridge.size() * 32;
+      }
+      cache_.apply(frame);
+      return cache_.merged();
+    }
+    capacity = proc_.profile_size(scope, pids, cursor);
   }
   throw std::runtime_error(
       "libKtau: profile size kept changing; giving up after bounded retries");

@@ -42,6 +42,35 @@ class KtauHandle {
   meas::TraceSnapshot get_trace(meas::Scope scope,
                                 std::span<const meas::Pid> pids = {});
 
+  // -- delta retrieval (wire version 3) -------------------------------------
+
+  /// Cursor-carrying read: runs the same size/read retry loop, but presents
+  /// the handle's cached cursor so the kernel ships only rows changed since
+  /// the previous call (plus name-table additions), then folds the frame
+  /// into the per-pid cache and returns the reassembled snapshot.  The first
+  /// call is a full read.  A handle's cache tracks one (scope, pids)
+  /// stream — use separate handles for separate streams.
+  const meas::ProfileSnapshot& get_profile_delta(
+      meas::Scope scope, std::span<const meas::Pid> pids = {});
+
+  /// Wire bytes moved by the most recent get_profile/get_profile_delta.
+  std::uint64_t last_profile_wire_bytes() const {
+    return last_profile_wire_bytes_;
+  }
+
+  /// Accounted row bytes (the daemons' modelled 28 B/event + 32 B/bridge
+  /// row) carried by the most recent get_profile_delta *frame* — only the
+  /// rows actually shipped, which is what delta extraction saves.
+  std::uint64_t last_profile_row_bytes() const {
+    return last_profile_row_bytes_;
+  }
+
+  /// The per-pid cursor cache behind get_profile_delta.
+  const meas::ProfileAccumulator& profile_cache() const { return cache_; }
+
+  /// Drops the cache; the next delta read becomes a full read.
+  void reset_profile_cache() { cache_.reset(); }
+
   // -- kernel control -----------------------------------------------------------
 
   void set_groups(meas::GroupMask mask) { proc_.ctl_set_groups(mask); }
@@ -50,6 +79,9 @@ class KtauHandle {
 
  private:
   meas::ProcKtau& proc_;
+  meas::ProfileAccumulator cache_;
+  std::uint64_t last_profile_wire_bytes_ = 0;
+  std::uint64_t last_profile_row_bytes_ = 0;
 };
 
 // -- ASCII conversion (paper: "data conversion (ASCII to/from binary)") ------

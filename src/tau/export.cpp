@@ -129,10 +129,9 @@ void write_merged_profile(std::ostream& os, const meas::ProfileSnapshot& snap,
                           const Profiler& prof) {
   // Kernel exclusive time inside each user routine (the bridge matrix)
   // gives the "true" user exclusive time of the merged view (Fig 2-D).
-  std::unordered_map<meas::EventId, double> kernel_inside_us;
-  for (const auto& br : task.bridge) {
-    kernel_inside_us[br.user_event] += cycles_to_us(br.excl, snap.cpu_freq);
-  }
+  const std::unordered_map<meas::EventId, double> kernel_inside_us =
+      meas::fold_kernel_within(
+          task, [&](sim::Cycles c) { return cycles_to_us(c, snap.cpu_freq); });
 
   std::vector<FunctionRow> rows;
   for (FuncId f = 0; f < prof.func_count(); ++f) {

@@ -77,6 +77,117 @@ TEST(ProcKtau, ReadFailsWhenDataOutgrowsCapacity) {
   }
 }
 
+TEST(ProcKtau, SpawnBetweenSizeAndReadExercisesRetryLoop) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(2));
+  Task& t = m.spawn("app");
+  t.program = busy_loop(10);
+  m.launch(t);
+  cluster.run_until(10 * kMillisecond);
+
+  const std::size_t size = m.proc().profile_size(meas::Scope::All);
+  // A task spawns and runs between the size probe and the read: the frame
+  // outgrows the stale capacity and the session-less protocol rejects it.
+  Task& late = m.spawn("latecomer");
+  late.program = busy_loop(10);
+  m.launch(late);
+  cluster.run_until(20 * kMillisecond);
+  std::vector<std::byte> buf;
+  ASSERT_FALSE(m.proc().profile_read(meas::Scope::All, {}, size, buf));
+  EXPECT_TRUE(buf.empty());
+
+  // libKtau's size/read retry loop absorbs exactly this race.
+  KtauHandle handle(m.proc());
+  const auto snap = handle.get_profile(meas::Scope::All);
+  bool has_late = false;
+  for (const auto& task : snap.tasks) {
+    if (task.name == "latecomer") has_late = true;
+  }
+  EXPECT_TRUE(has_late);
+}
+
+TEST(ProcKtau, ExitBetweenSizeAndReadKeepsOtherScopeConsistent) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(2));
+  Task& t = m.spawn("shortlived");
+  const meas::Pid pids[] = {t.pid};  // t may be reaped below; keep the pid
+  t.program = busy_loop(3);
+  m.launch(t);
+  cluster.run_until(5 * kMillisecond);
+  const std::size_t size = m.proc().profile_size(meas::Scope::Other, pids);
+  EXPECT_GT(size, 0u);
+  cluster.run();  // task exits and is reaped between size and read
+
+  // Scope::Other skips reaped tasks, so the frame shrank: the read still
+  // succeeds (capacity is an upper bound) but the pid is gone.  The retry
+  // loop in libKtau must also terminate on this shrink path.
+  std::vector<std::byte> buf;
+  ASSERT_TRUE(m.proc().profile_read(meas::Scope::Other, pids, size, buf));
+  EXPECT_LE(buf.size(), size);
+  const auto snap = meas::decode_profile(buf);
+  EXPECT_TRUE(snap.tasks.empty());
+  KtauHandle handle(m.proc());
+  EXPECT_TRUE(handle.get_profile(meas::Scope::Other, pids).tasks.empty());
+  // Scope::All still serves the reaped task's totals (Figure 7 needs them).
+  bool has_dead = false;
+  for (const auto& task : handle.get_profile(meas::Scope::All).tasks) {
+    if (task.name == "shortlived") has_dead = true;
+  }
+  EXPECT_TRUE(has_dead);
+}
+
+TEST(ProcKtau, CursorReadFailureDoesNotAdvanceEpoch) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet());
+  Task& t = m.spawn("app");
+  t.program = busy_loop(10);
+  m.launch(t);
+  cluster.run_until(20 * kMillisecond);
+
+  const std::uint64_t epoch0 = m.ktau().extraction_epoch();
+  std::vector<std::byte> buf;
+  ASSERT_FALSE(
+      m.proc().profile_read(meas::Scope::All, {}, meas::ProfileCursor{},
+                            /*capacity=*/1, buf));
+  EXPECT_EQ(m.ktau().extraction_epoch(), epoch0);  // failed read: no advance
+
+  const std::size_t size =
+      m.proc().profile_size(meas::Scope::All, {}, meas::ProfileCursor{});
+  ASSERT_TRUE(m.proc().profile_read(meas::Scope::All, {},
+                                    meas::ProfileCursor{}, size, buf));
+  EXPECT_EQ(m.ktau().extraction_epoch(), epoch0 + 1);
+  const auto snap = meas::decode_profile(buf);
+  EXPECT_TRUE(snap.delta);
+  EXPECT_EQ(snap.next_epoch, epoch0 + 1);
+}
+
+TEST(ProcKtau, SpawnBetweenCursorSizeAndReadExercisesDeltaRetryLoop) {
+  Cluster cluster;
+  Machine& m = cluster.add_machine(quiet(2));
+  Task& t = m.spawn("app");
+  t.program = busy_loop(10);
+  m.launch(t);
+  cluster.run_until(10 * kMillisecond);
+
+  const std::size_t size =
+      m.proc().profile_size(meas::Scope::All, {}, meas::ProfileCursor{});
+  Task& late = m.spawn("latecomer");
+  late.program = busy_loop(10);
+  m.launch(late);
+  cluster.run_until(20 * kMillisecond);
+  std::vector<std::byte> buf;
+  ASSERT_FALSE(m.proc().profile_read(meas::Scope::All, {},
+                                     meas::ProfileCursor{}, size, buf));
+
+  KtauHandle handle(m.proc());
+  const auto& merged = handle.get_profile_delta(meas::Scope::All);
+  bool has_late = false;
+  for (const auto& task : merged.tasks) {
+    if (task.name == "latecomer") has_late = true;
+  }
+  EXPECT_TRUE(has_late);
+}
+
 TEST(ProcKtau, SelfScopeReturnsOnlyCaller) {
   Cluster cluster;
   Machine& m = cluster.add_machine(quiet(2));
@@ -302,9 +413,11 @@ TEST(SnapshotCodec, DecodeRejectsCorruptData) {
   EXPECT_THROW(meas::decode_profile(junk), meas::SnapshotError);
 }
 
-// A small but fully populated profile + trace serialization to corrupt.
+// A small but fully populated profile + trace serialization to corrupt,
+// in both wire versions (v2 full frame, v3 zero-cursor delta frame).
 struct SampleBytes {
   std::vector<std::byte> profile;
+  std::vector<std::byte> delta;
   std::vector<std::byte> trace;
 
   SampleBytes() {
@@ -318,9 +431,72 @@ struct SampleBytes {
     cluster.run();
     const std::size_t size = m.proc().profile_size(meas::Scope::All);
     EXPECT_TRUE(m.proc().profile_read(meas::Scope::All, {}, size, profile));
+    const std::size_t dsize =
+        m.proc().profile_size(meas::Scope::All, {}, meas::ProfileCursor{});
+    EXPECT_TRUE(m.proc().profile_read(meas::Scope::All, {},
+                                      meas::ProfileCursor{}, dsize, delta));
     trace = m.proc().trace_read(meas::Scope::All);
   }
 };
+
+TEST(SnapshotCodec, ZeroCursorDeltaFrameDecodesIdenticallyToLegacy) {
+  // Property: a v3 frame produced against a zero cursor carries the exact
+  // payload a legacy v2 full frame does — only the framing differs.  This
+  // is what lets every consumer treat the two versions interchangeably.
+  const SampleBytes sample;
+  const auto full = meas::decode_profile(sample.profile);
+  const auto v3 = meas::decode_profile(sample.delta);
+
+  EXPECT_FALSE(full.delta);
+  EXPECT_TRUE(v3.delta);
+  EXPECT_EQ(v3.base_epoch, 0u);
+  EXPECT_EQ(v3.name_base, 0u);
+  EXPECT_GT(v3.next_epoch, 0u);
+
+  EXPECT_EQ(v3.timestamp, full.timestamp);
+  EXPECT_EQ(v3.cpu_freq, full.cpu_freq);
+  EXPECT_EQ(v3.events, full.events);
+  EXPECT_EQ(v3.tasks, full.tasks);
+}
+
+TEST(SnapshotCodec, DeltaFrameTruncationAtEveryOffsetRejected) {
+  const SampleBytes sample;
+  ASSERT_NO_THROW(meas::decode_profile(sample.delta));
+  for (std::size_t n = 0; n < sample.delta.size(); ++n) {
+    std::vector<std::byte> cut(sample.delta.begin(),
+                               sample.delta.begin() + n);
+    EXPECT_THROW(meas::decode_profile(cut), meas::SnapshotError) << n;
+  }
+}
+
+TEST(SnapshotCodec, DeltaFrameCountBombsRejectedBeforeAllocation) {
+  const SampleBytes sample;
+  for (std::size_t off = 0; off + 4 <= sample.delta.size(); ++off) {
+    auto bomb = sample.delta;
+    for (std::size_t i = 0; i < 4; ++i) bomb[off + i] = std::byte{0xFF};
+    try {
+      meas::decode_profile(bomb);
+    } catch (const meas::SnapshotError&) {
+    }
+  }
+}
+
+TEST(SnapshotCodec, DeltaFrameSeededByteFlipsNeverCrash) {
+  const SampleBytes sample;
+  sim::Rng rng(0xBEEF);
+  for (int iter = 0; iter < 400; ++iter) {
+    auto fuzz = sample.delta;
+    const int flips = 1 + iter % 8;
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.next_below(fuzz.size());
+      fuzz[pos] ^= std::byte{static_cast<unsigned char>(rng.uniform(1, 255))};
+    }
+    try {
+      meas::decode_profile(fuzz);
+    } catch (const meas::SnapshotError&) {
+    }
+  }
+}
 
 TEST(SnapshotCodec, TruncationAtEveryOffsetRejectedNotCrashing) {
   const SampleBytes sample;
