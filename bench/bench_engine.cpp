@@ -8,27 +8,30 @@
 //     unordered_set for cancellation);
 //   - sim::Engine: the indexed 4-ary heap with generation-tagged slots and
 //     InlineCallback small-buffer callbacks.
-// Both run the *identical* deterministic operation sequence, so ns/event is
-// directly comparable.  Results go to stdout and BENCH_engine.json.
-//
-// Usage: bench_engine [scale]   (scale multiplies the event budgets;
-//                                default 1.0 = 1M-event mixes)
+// Both run the *identical* deterministic operation sequence.  The
+// deterministic scenario output asserts legacy/fast equivalence (same
+// executed counts and the same callback side effects, bit for bit); the
+// host ns/event timings and the speedup are inherently machine-dependent
+// and therefore go to stderr only — they never enter the byte-identity
+// contract or the JSON document.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <ostream>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
-#include "experiments/chiba.hpp"
+#include "experiments/harness.hpp"
 #include "sim/engine.hpp"
 
+namespace ktau::expt {
 namespace {
 
-using ktau::sim::EventId;
-using ktau::sim::TimeNs;
+using sim::EventId;
+using sim::TimeNs;
 
 // ---------------------------------------------------------------------------
 // The seed engine, verbatim (kept here as the permanent baseline).
@@ -118,7 +121,14 @@ std::uint64_t splitmix(std::uint64_t& s) {
   return z ^ (z >> 31);
 }
 
-volatile std::uint64_t g_sink = 0;  // keeps callbacks from optimizing away
+// Per-run callback side-effect accumulators.  Trial-local (passed into every
+// driver) so concurrent trials never share mutable state — file-scope sinks
+// would be a data race under --jobs.  Doubling as the equivalence check:
+// both engines must leave identical values behind.
+struct Sinks {
+  std::uint64_t cb = 0;       // timer-callback firings
+  std::uint64_t payload = 0;  // payload-callback accumulation
+};
 
 // Callback payload shaped like the simulator's real lambdas — machine.cpp
 // and knet capture [this, &cpu, &t, epoch]-style 24-32 byte closures, which
@@ -131,21 +141,19 @@ struct Payload {
   void operator()() const { *sink += a ^ b ^ c; }
 };
 
-std::uint64_t g_payload_sink = 0;
-
-Payload make_payload(std::uint64_t& rng) {
-  return Payload{&g_payload_sink, splitmix(rng), rng, rng >> 7};
+Payload make_payload(std::uint64_t& rng, Sinks& sinks) {
+  return Payload{&sinks.payload, splitmix(rng), rng, rng >> 7};
 }
 
 // Uniform: keep ~8k one-shot events in flight at random future offsets.
 template <class E>
-void drive_uniform(E& e, std::uint64_t target) {
+void drive_uniform(E& e, std::uint64_t target, Sinks& sinks) {
   std::uint64_t rng = 0x5EEDu;
   std::uint64_t scheduled = 0;
   while (e.executed() < target) {
     if (scheduled < target && scheduled - e.executed() < 8192) {
       const TimeNs dt = 1 + splitmix(rng) % 20000;
-      e.schedule_after(dt, make_payload(rng));
+      e.schedule_after(dt, make_payload(rng, sinks));
       ++scheduled;
     } else {
       e.step();
@@ -156,18 +164,19 @@ void drive_uniform(E& e, std::uint64_t target) {
 // Timer-wheel-like: 512 periodic timers, each rescheduling itself, periods
 // spread over ~2 decades — the tick/daemon-wakeup shape of the simulator.
 template <class E>
-void drive_timer_wheel(E& e, std::uint64_t target) {
+void drive_timer_wheel(E& e, std::uint64_t target, Sinks& sinks) {
   struct Timer {
     E* e;
+    Sinks* sinks;
     TimeNs period;
     std::uint64_t stop_at;
     void operator()() {
-      ++g_sink;
+      ++sinks->cb;
       if (e->executed() < stop_at) e->schedule_after(period, *this);
     }
   };
   for (std::uint32_t i = 0; i < 512; ++i) {
-    const Timer t{&e, 100 + 173 * static_cast<TimeNs>(i), target};
+    const Timer t{&e, &sinks, 100 + 173 * static_cast<TimeNs>(i), target};
     e.schedule_after(t.period, t);
   }
   while (e.executed() < target && e.step()) {
@@ -180,7 +189,7 @@ void drive_timer_wheel(E& e, std::uint64_t target) {
 // burst_event pattern.  Two of three executed events are schedule+cancel
 // traffic for the engine.
 template <class E>
-void drive_cancel_heavy(E& e, std::uint64_t target) {
+void drive_cancel_heavy(E& e, std::uint64_t target, Sinks& sinks) {
   std::uint64_t rng = 0xCA9CE1u;
   std::vector<EventId> guards(4096, 0);
   std::uint64_t scheduled = 0;
@@ -188,12 +197,13 @@ void drive_cancel_heavy(E& e, std::uint64_t target) {
     if (scheduled < target && scheduled - e.executed() < 4096) {
       const TimeNs dt = 1 + splitmix(rng) % 10000;
       const std::size_t slot = scheduled % guards.size();
-      guards[slot] = e.schedule_after(dt + 50000, make_payload(rng));
+      guards[slot] = e.schedule_after(dt + 50000, make_payload(rng, sinks));
       EventId* guard = &guards[slot];
       E* ep = &e;
+      Sinks* sp = &sinks;
       const std::uint64_t epoch = scheduled;
-      e.schedule_after(dt, [ep, guard, epoch] {
-        g_payload_sink += epoch;
+      e.schedule_after(dt, [ep, sp, guard, epoch] {
+        sp->payload += epoch;
         ep->cancel(*guard);
       });
       ++scheduled;
@@ -203,7 +213,7 @@ void drive_cancel_heavy(E& e, std::uint64_t target) {
   }
 }
 
-// Mixed 1M-event workload: the headline number.  60% one-shot events, 25%
+// Mixed workload: the headline number.  60% one-shot events, 25%
 // self-rescheduling timers, 15% cancellable pairs — the approximate blend
 // of dispatch/burst, tick, and timeout traffic in a chiba run.  The
 // per-event decisions and deltas are precomputed into a trace so the
@@ -238,19 +248,21 @@ MixedTrace make_mixed_trace(std::uint64_t n) {
 }
 
 template <class E>
-void drive_mixed(E& e, std::uint64_t target, const MixedTrace& tr) {
+void drive_mixed(E& e, std::uint64_t target, Sinks& sinks,
+                 const MixedTrace& tr) {
   struct Timer {
     E* e;
+    Sinks* sinks;
     TimeNs period;
     std::uint64_t stop_at;
     void operator()() {
-      ++g_sink;
+      ++sinks->cb;
       if (e->executed() < stop_at) e->schedule_after(period, *this);
     }
   };
   std::uint64_t scheduled = 0;
   std::vector<EventId> guards(2048, 0);
-  const Payload payload{&g_payload_sink, 0x1111, 0x2222, 0x3333};
+  const Payload payload{&sinks.payload, 0x1111, 0x2222, 0x3333};
   while (e.executed() < target) {
     if (scheduled < target && scheduled - e.executed() < 8192) {
       const TimeNs dt = tr.delta[scheduled];
@@ -259,15 +271,16 @@ void drive_mixed(E& e, std::uint64_t target, const MixedTrace& tr) {
           e.schedule_after(dt, payload);
           break;
         case 1:
-          e.schedule_after(dt, Timer{&e, dt, target});
+          e.schedule_after(dt, Timer{&e, &sinks, dt, target});
           break;
         default: {
           const std::size_t slot = scheduled % guards.size();
           guards[slot] = e.schedule_after(dt + 40000, payload);
           EventId* guard = &guards[slot];
           E* ep = &e;
-          e.schedule_after(dt, [ep, guard] {
-            ++g_payload_sink;
+          Sinks* sp = &sinks;
+          e.schedule_after(dt, [ep, sp, guard] {
+            ++sp->payload;
             ep->cancel(*guard);
           });
           break;
@@ -280,142 +293,215 @@ void drive_mixed(E& e, std::uint64_t target, const MixedTrace& tr) {
   }
 }
 
-struct MixResult {
-  std::string name;
+// One mix run through both engines: the deterministic equivalence facts
+// plus the (host-dependent, info-only) best-of-N timings.
+struct MixOutcome {
   std::uint64_t events = 0;
-  double legacy_ns = 0;
-  double fast_ns = 0;
+  std::uint64_t legacy_executed = 0, fast_executed = 0;
+  Sinks legacy_sinks, fast_sinks;
+  double legacy_ns = 0, fast_ns = 0;  // host timing; stderr only
   double speedup() const { return legacy_ns / fast_ns; }
 };
 
-double time_run(const std::function<std::uint64_t()>& body) {
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t events = body();
-  const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
-         static_cast<double>(events);
-}
-
 template <class Driver>
-MixResult run_mix(const std::string& name, std::uint64_t target,
-                  Driver driver) {
-  MixResult r;
-  r.name = name;
+MixOutcome run_mix(std::uint64_t target, Driver driver) {
+  MixOutcome r;
   r.events = target;
   // Warmup pass on each engine type (page in code, grow pools), then several
   // interleaved measured passes on fresh engines; keep the best (minimum
   // ns/event) per engine — the standard way to filter scheduler/host noise
   // out of a microbenchmark.
-  constexpr int kReps = 5;
+  constexpr int kReps = 3;
   const std::uint64_t warm = target / 10 + 1000;
   {
     LegacyEngine w;
-    driver(w, warm);
+    Sinks s;
+    driver(w, warm, s);
   }
   {
-    ktau::sim::Engine w;
-    driver(w, warm);
+    sim::Engine w;
+    Sinks s;
+    driver(w, warm, s);
   }
   r.legacy_ns = 1e30;
   r.fast_ns = 1e30;
   for (int rep = 0; rep < kReps; ++rep) {
-    r.legacy_ns = std::min(r.legacy_ns, time_run([&] {
-                             LegacyEngine e;
-                             driver(e, target);
-                             return e.executed();
-                           }));
-    r.fast_ns = std::min(r.fast_ns, time_run([&] {
-                           ktau::sim::Engine e;
-                           driver(e, target);
-                           return e.executed();
-                         }));
+    {
+      LegacyEngine e;
+      Sinks s;
+      const auto t0 = std::chrono::steady_clock::now();
+      driver(e, target, s);
+      const auto t1 = std::chrono::steady_clock::now();
+      r.legacy_ns = std::min(
+          r.legacy_ns, std::chrono::duration<double, std::nano>(t1 - t0)
+                               .count() /
+                           static_cast<double>(e.executed()));
+      r.legacy_executed = e.executed();
+      r.legacy_sinks = s;
+    }
+    {
+      sim::Engine e;
+      Sinks s;
+      const auto t0 = std::chrono::steady_clock::now();
+      driver(e, target, s);
+      const auto t1 = std::chrono::steady_clock::now();
+      r.fast_ns = std::min(
+          r.fast_ns, std::chrono::duration<double, std::nano>(t1 - t0)
+                             .count() /
+                         static_cast<double>(e.executed()));
+      r.fast_executed = e.executed();
+      r.fast_sinks = s;
+    }
   }
-  std::printf("%-16s %9llu events | legacy %7.1f ns/ev (%5.2f M ev/s) | "
-              "fast %7.1f ns/ev (%5.2f M ev/s) | speedup %.2fx\n",
-              name.c_str(), static_cast<unsigned long long>(r.events),
-              r.legacy_ns, 1e3 / r.legacy_ns, r.fast_ns, 1e3 / r.fast_ns,
-              r.speedup());
   return r;
 }
 
-}  // namespace
+struct ReplayOutcome {
+  std::uint64_t engine_events = 0;
+  double wall_sec = 0;  // host timing; stderr only
+};
 
-int main(int argc, char** argv) {
-  double scale = 1.0;
-  if (argc > 1) scale = std::atof(argv[1]);
-  const auto n = static_cast<std::uint64_t>(1'000'000 * scale);
-  if (n == 0) {
-    std::fprintf(stderr, "usage: bench_engine [scale]   (scale must yield "
-                         ">= 1 event, e.g. 0.1 or 1.0)\n");
-    return 2;
-  }
-
-  std::printf("Engine microbenchmark: seed (legacy) vs indexed-4-ary-heap "
-              "engine, %llu-event mixes\n\n",
-              static_cast<unsigned long long>(n));
-
-  std::vector<MixResult> mixes;
-  mixes.push_back(run_mix("uniform", n, [](auto& e, std::uint64_t t) {
-    drive_uniform(e, t);
-  }));
-  mixes.push_back(run_mix("timer_wheel", n, [](auto& e, std::uint64_t t) {
-    drive_timer_wheel(e, t);
-  }));
-  mixes.push_back(run_mix("cancel_heavy", n, [](auto& e, std::uint64_t t) {
-    drive_cancel_heavy(e, t);
-  }));
-  const MixedTrace trace = make_mixed_trace(std::max(n, n / 10 + 1000));
-  mixes.push_back(run_mix("mixed_1m", n, [&trace](auto& e, std::uint64_t t) {
-    drive_mixed(e, t, trace);
-  }));
-
+std::vector<TrialSpec> engine_trials(const ScenarioParams& p) {
+  const auto n =
+      static_cast<std::uint64_t>(1'000'000 * std::max(p.scale, 1e-5));
+  const std::uint64_t target = std::max<std::uint64_t>(n, 1);
+  std::vector<TrialSpec> trials;
+  trials.push_back({"uniform", [target] {
+                      auto r = run_mix(target, [](auto& e, std::uint64_t t,
+                                                  Sinks& s) {
+                        drive_uniform(e, t, s);
+                      });
+                      return trial_result(
+                          std::move(r),
+                          {{"events", static_cast<double>(r.events)}});
+                    }});
+  trials.push_back({"timer_wheel", [target] {
+                      auto r = run_mix(target, [](auto& e, std::uint64_t t,
+                                                  Sinks& s) {
+                        drive_timer_wheel(e, t, s);
+                      });
+                      return trial_result(
+                          std::move(r),
+                          {{"events", static_cast<double>(r.events)}});
+                    }});
+  trials.push_back({"cancel_heavy", [target] {
+                      auto r = run_mix(target, [](auto& e, std::uint64_t t,
+                                                  Sinks& s) {
+                        drive_cancel_heavy(e, t, s);
+                      });
+                      return trial_result(
+                          std::move(r),
+                          {{"events", static_cast<double>(r.events)}});
+                    }});
+  trials.push_back(
+      {"mixed", [target] {
+         const MixedTrace trace =
+             make_mixed_trace(std::max(target, target / 10 + 1000));
+         auto r = run_mix(target, [&trace](auto& e, std::uint64_t t,
+                                           Sinks& s) {
+           drive_mixed(e, t, s, trace);
+         });
+         return trial_result(std::move(r),
+                             {{"events", static_cast<double>(r.events)}});
+       }});
   // Real workload replay: a miniature chiba run through the full simulated
   // stack (scheduler, IRQs, TCP, MPI, KTAU probes) on the live engine.
-  ktau::expt::ChibaRunConfig cfg;
-  cfg.config = ktau::expt::ChibaConfig::C64x2;
-  cfg.workload = ktau::expt::Workload::LU;
+  ChibaRunConfig cfg;
+  cfg.config = ChibaConfig::C64x2;
+  cfg.workload = Workload::LU;
   cfg.ranks = 16;
-  cfg.scale = 0.04 * scale;
-  cfg.seed = 5;
-  const auto t0 = std::chrono::steady_clock::now();
-  const auto run = ktau::expt::run_chiba(cfg);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double wall = std::chrono::duration<double>(t1 - t0).count();
-  const double replay_eps = static_cast<double>(run.engine_events) / wall;
-  std::printf("\nreplay chiba 64x2 LU x16 (full stack): %llu engine events "
-              "in %.2f s = %.2f M ev/s\n",
-              static_cast<unsigned long long>(run.engine_events), wall,
-              replay_eps / 1e6);
-
-  const double headline =
-      mixes.back().speedup();  // mixed_1m is the acceptance number
-  std::printf("\nheadline (mixed_1m) speedup: %.2fx — %s\n", headline,
-              headline >= 2.5 ? "PASS (>= 2.5x)" : "FAIL (< 2.5x)");
-
-  FILE* f = std::fopen("BENCH_engine.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f, "{\n  \"scale\": %g,\n  \"mixes\": [\n", scale);
-    for (std::size_t i = 0; i < mixes.size(); ++i) {
-      const MixResult& m = mixes[i];
-      std::fprintf(
-          f,
-          "    {\"name\": \"%s\", \"events\": %llu, "
-          "\"legacy_ns_per_event\": %.2f, \"fast_ns_per_event\": %.2f, "
-          "\"legacy_events_per_sec\": %.0f, \"fast_events_per_sec\": %.0f, "
-          "\"speedup\": %.3f}%s\n",
-          m.name.c_str(), static_cast<unsigned long long>(m.events),
-          m.legacy_ns, m.fast_ns, 1e9 / m.legacy_ns, 1e9 / m.fast_ns,
-          m.speedup(), i + 1 < mixes.size() ? "," : "");
-    }
-    std::fprintf(f,
-                 "  ],\n  \"replay\": {\"name\": \"chiba_64x2_lu_x16\", "
-                 "\"engine_events\": %llu, \"wall_sec\": %.3f, "
-                 "\"events_per_sec\": %.0f},\n",
-                 static_cast<unsigned long long>(run.engine_events), wall,
-                 replay_eps);
-    std::fprintf(f, "  \"headline_speedup_mixed\": %.3f\n}\n", headline);
-    std::fclose(f);
-    std::printf("wrote BENCH_engine.json\n");
-  }
-  return headline >= 2.5 ? 0 : 1;
+  cfg.scale = 0.04 * p.scale;
+  cfg.seed = p.seed(5);
+  trials.push_back(
+      {"replay", [cfg] {
+         const auto t0 = std::chrono::steady_clock::now();
+         const auto run = run_chiba(cfg);
+         const auto t1 = std::chrono::steady_clock::now();
+         ReplayOutcome r;
+         r.engine_events = run.engine_events;
+         r.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+         return trial_result(
+             r, {{"engine_events", static_cast<double>(r.engine_events)}});
+       }});
+  return trials;
 }
+
+void engine_report(Report& rep, const ScenarioParams&,
+                   const std::vector<TrialResult>& results) {
+  static constexpr const char* kMixNames[] = {"uniform", "timer_wheel",
+                                              "cancel_heavy", "mixed"};
+  rep.printf("legacy (seed) vs indexed-4-ary-heap engine, identical "
+             "deterministic operation sequences\n\n");
+  double headline = 0;
+  for (std::size_t i = 0; i < std::size(kMixNames); ++i) {
+    const auto& m = payload<MixOutcome>(results[i]);
+    rep.printf("%-16s %9llu events | executed legacy %llu / fast %llu | "
+               "sinks legacy %llu/%llu fast %llu/%llu\n",
+               kMixNames[i], static_cast<unsigned long long>(m.events),
+               static_cast<unsigned long long>(m.legacy_executed),
+               static_cast<unsigned long long>(m.fast_executed),
+               static_cast<unsigned long long>(m.legacy_sinks.cb),
+               static_cast<unsigned long long>(m.legacy_sinks.payload),
+               static_cast<unsigned long long>(m.fast_sinks.cb),
+               static_cast<unsigned long long>(m.fast_sinks.payload));
+    // Host timings are machine-dependent: stderr only.
+    std::ostream& info = rep.info();
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  [%s: legacy %.1f ns/ev, fast %.1f ns/ev, speedup "
+                  "%.2fx]\n",
+                  kMixNames[i], m.legacy_ns, m.fast_ns, m.speedup());
+    info << line;
+    if (i + 1 == std::size(kMixNames)) headline = m.speedup();
+  }
+  {
+    char line[120];
+    std::snprintf(line, sizeof(line),
+                  "  [headline (mixed) speedup: %.2fx; engineering target "
+                  ">= 2.5x]\n",
+                  headline);
+    rep.info() << line;
+  }
+
+  const auto& replay = payload<ReplayOutcome>(results[4]);
+  rep.printf("\nreplay chiba 64x2 LU x16 (full stack): %llu engine events\n",
+             static_cast<unsigned long long>(replay.engine_events));
+  {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  [replay: %.2f s host wall = %.2f M ev/s]\n",
+                  replay.wall_sec,
+                  replay.wall_sec > 0
+                      ? static_cast<double>(replay.engine_events) /
+                            replay.wall_sec / 1e6
+                      : 0.0);
+    rep.info() << line;
+  }
+  rep.printf("\n");
+
+  for (std::size_t i = 0; i < std::size(kMixNames); ++i) {
+    const auto& m = payload<MixOutcome>(results[i]);
+    rep.gate(std::string(kMixNames[i]) +
+                 ": fast engine equivalent to legacy (executed + side "
+                 "effects)",
+             m.legacy_executed == m.fast_executed &&
+                 m.legacy_executed >= m.events &&
+                 m.legacy_sinks.cb == m.fast_sinks.cb &&
+                 m.legacy_sinks.payload == m.fast_sinks.payload);
+  }
+  rep.gate("replay drives the full stack", replay.engine_events > 0);
+}
+
+[[maybe_unused]] const bool registered = register_scenario(
+    {.name = "engine",
+     .title = "Engine microbenchmark: seed (legacy) vs indexed-4-ary-heap "
+              "engine",
+     .default_scale = 1.0,
+     .order = 90,
+     .trials = engine_trials,
+     .report = engine_report});
+
+}  // namespace
+}  // namespace ktau::expt
+
+KTAU_BENCH_MAIN("engine")

@@ -5,26 +5,32 @@
 // Paper shape: on average most of MPI_Recv is spent inside scheduling
 // (waiting for the slow node), but comparatively less for ranks 125 and 61
 // themselves.
-#include <cstdio>
-#include <iostream>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "analysis/render.hpp"
-#include "bench_util.hpp"
+#include "experiments/harness.hpp"
 
-using namespace ktau;
-using namespace ktau::expt;
+namespace ktau::expt {
+namespace {
 
-int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header(
-      "Figure 4: MPI_Recv kernel call groups (64x2 Anomaly, NPB LU)", scale);
-
+std::vector<TrialSpec> fig4_trials(const ScenarioParams& p) {
   ChibaRunConfig cfg;
   cfg.config = ChibaConfig::C64x2Anomaly;
   cfg.workload = Workload::LU;
-  cfg.scale = scale;
-  const auto run = run_chiba(cfg);
+  cfg.scale = p.scale;
+  cfg.seed = p.seed(cfg.seed);
+  return {{"anomaly_lu", [cfg] {
+             auto run = run_chiba(cfg);
+             return trial_result(std::move(run),
+                                 {{"exec_sec", run.exec_sec}});
+           }}};
+}
+
+void fig4_report(Report& rep, const ScenarioParams&,
+                 const std::vector<TrialResult>& results) {
+  const auto& run = payload<ChibaRunResult>(results[0]);
 
   // Fold the per-rank (group -> seconds inside MPI_Recv) maps.
   std::map<meas::Group, double> mean;
@@ -41,9 +47,11 @@ int main(int argc, char** argv) {
     return rows;
   };
 
-  analysis::render_bars(std::cout, "mean across all ranks", bar_rows(mean));
-  analysis::render_bars(std::cout, "rank 125", bar_rows(run.ranks[125].recv_groups));
-  analysis::render_bars(std::cout, "rank 61", bar_rows(run.ranks[61].recv_groups));
+  analysis::render_bars(rep.out(), "mean across all ranks", bar_rows(mean));
+  analysis::render_bars(rep.out(), "rank 125",
+                        bar_rows(run.ranks[125].recv_groups));
+  analysis::render_bars(rep.out(), "rank 61",
+                        bar_rows(run.ranks[61].recv_groups));
 
   const double mean_sched = mean.count(meas::Group::Sched) != 0
                                 ? mean.at(meas::Group::Sched)
@@ -52,13 +60,23 @@ int main(int argc, char** argv) {
     const auto it = rs.recv_groups.find(meas::Group::Sched);
     return it == rs.recv_groups.end() ? 0.0 : it->second;
   };
-  std::printf("\nscheduling inside MPI_Recv: mean %.2f s, rank125 %.2f s, "
-              "rank61 %.2f s\n",
-              mean_sched, sched_of(run.ranks[125]), sched_of(run.ranks[61]));
-  std::printf("faulty-node ranks below the mean (paper shape): %s\n",
-              (sched_of(run.ranks[125]) < mean_sched &&
-               sched_of(run.ranks[61]) < mean_sched)
-                  ? "PASS"
-                  : "FAIL");
-  return 0;
+  rep.printf("\nscheduling inside MPI_Recv: mean %.2f s, rank125 %.2f s, "
+             "rank61 %.2f s\n",
+             mean_sched, sched_of(run.ranks[125]), sched_of(run.ranks[61]));
+  rep.gate("faulty-node ranks below the mean (paper shape)",
+           sched_of(run.ranks[125]) < mean_sched &&
+               sched_of(run.ranks[61]) < mean_sched);
 }
+
+[[maybe_unused]] const bool registered = register_scenario(
+    {.name = "fig4",
+     .title = "Figure 4: MPI_Recv kernel call groups (64x2 Anomaly, NPB LU)",
+     .default_scale = kDefaultScale,
+     .order = 42,
+     .trials = fig4_trials,
+     .report = fig4_report});
+
+}  // namespace
+}  // namespace ktau::expt
+
+KTAU_BENCH_MAIN("fig4")

@@ -6,29 +6,34 @@
 // kernel threads) shows minuscule execution time — which is what
 // invalidated the "daemon interference" hypothesis and pointed at the LU
 // tasks preempting each other.
-#include <cstdio>
-#include <iostream>
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "analysis/render.hpp"
 #include "analysis/views.hpp"
-#include "bench_util.hpp"
+#include "experiments/harness.hpp"
 
-using namespace ktau;
-using namespace ktau::expt;
+namespace ktau::expt {
+namespace {
 
-int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header(
-      "Figure 7: faulty-node (ccn10) per-process OS activity "
-      "(64x2 Anomaly, NPB LU)",
-      scale);
-
+std::vector<TrialSpec> fig7_trials(const ScenarioParams& p) {
   ChibaRunConfig cfg;
   cfg.config = ChibaConfig::C64x2Anomaly;
   cfg.workload = Workload::LU;
-  cfg.scale = scale;
-  const auto run = run_chiba(cfg);
-  std::printf("spotlight node: ccn%u\n\n", run.spotlight_node_id);
+  cfg.scale = p.scale;
+  cfg.seed = p.seed(cfg.seed);
+  return {{"anomaly_lu", [cfg] {
+             auto run = run_chiba(cfg);
+             return trial_result(std::move(run),
+                                 {{"exec_sec", run.exec_sec}});
+           }}};
+}
+
+void fig7_report(Report& rep, const ScenarioParams&,
+                 const std::vector<TrialResult>& results) {
+  const auto& run = payload<ChibaRunResult>(results[0]);
+  rep.printf("spotlight node: ccn%u\n\n", run.spotlight_node_id);
 
   // Per-process total kernel activity (exclusive seconds, non-Sched groups
   // count as "execution"; Sched inclusive time is wait, shown separately).
@@ -45,7 +50,7 @@ int main(int argc, char** argv) {
   }
   std::sort(activity.begin(), activity.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
-  analysis::render_bars(std::cout,
+  analysis::render_bars(rep.out(),
                         "kernel activity per process (excl. scheduling)",
                         activity);
 
@@ -58,9 +63,22 @@ int main(int argc, char** argv) {
       daemon_total += sec;
     }
   }
-  std::printf("\nLU tasks total %.2f s vs all daemons %.3f s\n", lu_total,
-              daemon_total);
-  std::printf("no significant daemon activity (paper's conclusion): %s\n",
-              daemon_total < 0.05 * lu_total ? "PASS" : "FAIL");
-  return 0;
+  rep.printf("\nLU tasks total %.2f s vs all daemons %.3f s\n", lu_total,
+             daemon_total);
+  rep.gate("no significant daemon activity (paper's conclusion)",
+           daemon_total < 0.05 * lu_total);
 }
+
+[[maybe_unused]] const bool registered = register_scenario(
+    {.name = "fig7",
+     .title = "Figure 7: faulty-node (ccn10) per-process OS activity "
+              "(64x2 Anomaly, NPB LU)",
+     .default_scale = kDefaultScale,
+     .order = 44,
+     .trials = fig7_trials,
+     .report = fig7_report});
+
+}  // namespace
+}  // namespace ktau::expt
+
+KTAU_BENCH_MAIN("fig7")

@@ -5,42 +5,51 @@
 // balancing every interrupt lands on CPU0, so the half of the ranks pinned
 // there absorb virtually all interrupt time while CPU1 ranks absorb almost
 // none.  Enabling irq balancing (Pin,I-Bal) collapses the two modes.
-#include <cstdio>
-#include <iostream>
+#include <algorithm>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "analysis/render.hpp"
-#include "bench_util.hpp"
+#include "experiments/harness.hpp"
 
-using namespace ktau;
-using namespace ktau::expt;
+namespace ktau::expt {
+namespace {
 
-int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv);
-  bench::print_header("Figure 8: interrupt activity CDF (NPB LU)", scale);
+constexpr std::pair<ChibaConfig, const char*> kConfigs[] = {
+    {ChibaConfig::C128x1, "128x1"},
+    {ChibaConfig::C64x2PinIbal, "64x2 Pinned,I-Bal"},
+    {ChibaConfig::C64x2, "64x2"},
+    {ChibaConfig::C64x2Pinned, "64x2 Pinned"},
+};
 
-  const std::pair<ChibaConfig, const char*> configs[] = {
-      {ChibaConfig::C128x1, "128x1"},
-      {ChibaConfig::C64x2PinIbal, "64x2 Pinned,I-Bal"},
-      {ChibaConfig::C64x2, "64x2"},
-      {ChibaConfig::C64x2Pinned, "64x2 Pinned"},
-  };
-
-  std::map<std::string, sim::Cdf> irq;
-  std::map<std::string, ChibaRunResult> runs;
-  for (const auto& [config, name] : configs) {
+std::vector<TrialSpec> fig8_trials(const ScenarioParams& p) {
+  std::vector<TrialSpec> trials;
+  for (const auto& [config, name] : kConfigs) {
     ChibaRunConfig cfg;
     cfg.config = config;
     cfg.workload = Workload::LU;
-    cfg.scale = scale;
-    auto run = run_chiba(cfg);
-    std::fprintf(stderr, "  [ran %s: %.2f s]\n", name, run.exec_sec);
-    irq[name] = sim::Cdf(bench::metric_of(
+    cfg.scale = p.scale;
+    cfg.seed = p.seed(cfg.seed);
+    trials.push_back({name, [cfg] {
+                        auto run = run_chiba(cfg);
+                        return trial_result(std::move(run),
+                                            {{"exec_sec", run.exec_sec}});
+                      }});
+  }
+  return trials;
+}
+
+void fig8_report(Report& rep, const ScenarioParams&,
+                 const std::vector<TrialResult>& results) {
+  std::map<std::string, sim::Cdf> irq;
+  for (std::size_t i = 0; i < std::size(kConfigs); ++i) {
+    const auto& run = payload<ChibaRunResult>(results[i]);
+    irq[kConfigs[i].second] = cdf_of(metric_of(
         run, [](const RankStats& rs) { return rs.irq_sec * 1e6; }));
-    runs.emplace(name, std::move(run));
   }
 
-  analysis::render_cdfs(std::cout, "IRQ Activity (CDF)",
+  analysis::render_cdfs(rep.out(), "IRQ Activity (CDF)",
                         "interrupt time per rank (microseconds)", irq);
 
   // Bimodality check for 64x2 Pinned: the low half (CPU1 ranks) vs the
@@ -48,16 +57,28 @@ int main(int argc, char** argv) {
   const auto& pinned = irq.at("64x2 Pinned");
   const double p25 = pinned.quantile(0.25);
   const double p75 = pinned.quantile(0.75);
-  std::printf("\n64x2 Pinned p25 %.0f us vs p75 %.0f us (ratio %.1f)\n", p25,
-              p75, p25 > 0 ? p75 / p25 : 0.0);
-  std::printf("bimodal irq distribution when pinned without balancing: %s\n",
-              p75 > 5 * std::max(p25, 1.0) ? "PASS" : "FAIL");
+  rep.printf("\n64x2 Pinned p25 %.0f us vs p75 %.0f us (ratio %.1f)\n", p25,
+             p75, p25 > 0 ? p75 / p25 : 0.0);
+  rep.gate("bimodal irq distribution when pinned without balancing",
+           p75 > 5 * std::max(p25, 1.0));
 
   const auto& balanced = irq.at("64x2 Pinned,I-Bal");
   const double spread_pinned = p75 - p25;
   const double spread_bal = balanced.quantile(0.75) - balanced.quantile(0.25);
-  std::printf("irq balancing collapses the modes (IQR %.0f -> %.0f us): %s\n",
-              spread_pinned, spread_bal,
-              spread_bal < spread_pinned ? "PASS" : "FAIL");
-  return 0;
+  rep.printf("irq balancing IQR %.0f -> %.0f us\n", spread_pinned,
+             spread_bal);
+  rep.gate("irq balancing collapses the modes", spread_bal < spread_pinned);
 }
+
+[[maybe_unused]] const bool registered = register_scenario(
+    {.name = "fig8",
+     .title = "Figure 8: interrupt activity CDF (NPB LU)",
+     .default_scale = kDefaultScale,
+     .order = 45,
+     .trials = fig8_trials,
+     .report = fig8_report});
+
+}  // namespace
+}  // namespace ktau::expt
+
+KTAU_BENCH_MAIN("fig8")

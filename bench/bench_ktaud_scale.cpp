@@ -9,35 +9,28 @@
 // what changed since the previous period — on a node full of sleeping
 // daemons, almost nothing.
 //
-// Shape checks (PASS/FAIL lines; exit code = number of FAILs):
+// Shape checks (PASS/FAIL gates; exit code = number of FAILs):
 //   - delta extraction moves >= 5x fewer bytes per steady-state period;
 //   - delta extraction moves fewer bytes in total;
 //   - the reassembled delta view carries the same cumulative totals as the
 //     legacy full read (merged through analysis::MergePipeline);
 //   - KTAUD-induced perturbation is strictly lower with deltas (the
 //     monitored app finishes strictly earlier);
-//   - determinism: the delta run is bit-identical across two executions.
-//
-// Results go to stdout and BENCH_dataplane.json.
+//   - determinism: the delta run is bit-identical across two executions
+//     (under --jobs the two delta trials run on different workers, so this
+//     also polices cross-trial isolation).
 #include <algorithm>
-#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/merge.hpp"
 #include "apps/daemons.hpp"
-#include "bench_util.hpp"
 #include "clients/ktaud.hpp"
+#include "experiments/harness.hpp"
 #include "kernel/cluster.hpp"
 
-using namespace ktau;
-
+namespace ktau::expt {
 namespace {
-
-int failures = 0;
-
-void check(const char* what, bool ok) {
-  std::printf("%s: %s\n", what, ok ? "PASS" : "FAIL");
-  if (!ok) ++failures;
-}
 
 struct ScaleRun {
   std::uint64_t extractions = 0;
@@ -124,44 +117,59 @@ ScaleRun run_scenario(double scale, bool delta) {
   return out;
 }
 
-}  // namespace
+TrialSpec scale_trial(std::string name, double scale, bool delta) {
+  return {std::move(name), [scale, delta] {
+            auto run = run_scenario(scale, delta);
+            return trial_result(
+                std::move(run),
+                {{"extractions", static_cast<double>(run.extractions)},
+                 {"steady_bytes", static_cast<double>(run.steady_bytes)},
+                 {"total_bytes", static_cast<double>(run.total_bytes)},
+                 {"app_done_sec",
+                  static_cast<double>(run.app_done) / sim::kSecond}});
+          }};
+}
 
-int main(int argc, char** argv) {
-  const double scale = bench::parse_scale(argc, argv, 0.1);
-  bench::print_header(
-      "KTAUD at scale: full vs delta extraction on a sleeper-daemon node",
-      scale);
+std::vector<TrialSpec> ktaud_trials(const ScenarioParams& p) {
+  // No RNG in this scenario — the workload is fully deterministic, so the
+  // seed salt has nothing to vary; repeats re-check determinism instead.
+  return {scale_trial("full", p.scale, false),
+          scale_trial("delta", p.scale, true),
+          scale_trial("delta2", p.scale, true)};
+}
 
-  const ScaleRun full = run_scenario(scale, false);
-  const ScaleRun delta = run_scenario(scale, true);
-  const ScaleRun delta2 = run_scenario(scale, true);
+void ktaud_report(Report& rep, const ScenarioParams&,
+                  const std::vector<TrialResult>& results) {
+  const auto& full = payload<ScaleRun>(results[0]);
+  const auto& delta = payload<ScaleRun>(results[1]);
+  const auto& delta2 = payload<ScaleRun>(results[2]);
 
-  std::printf("\nextractions: %llu (both modes)\n",
-              static_cast<unsigned long long>(full.extractions));
-  std::printf("bytes/period at steady state: full %llu, delta %llu "
-              "(%.1fx reduction)\n",
-              static_cast<unsigned long long>(full.steady_bytes),
-              static_cast<unsigned long long>(delta.steady_bytes),
-              delta.steady_bytes
-                  ? static_cast<double>(full.steady_bytes) /
-                        static_cast<double>(delta.steady_bytes)
-                  : 0.0);
-  std::printf("total bytes: full %llu, delta %llu\n",
-              static_cast<unsigned long long>(full.total_bytes),
-              static_cast<unsigned long long>(delta.total_bytes));
-  std::printf("app completion: full %.6f s, delta %.6f s\n",
-              static_cast<double>(full.app_done) / sim::kSecond,
-              static_cast<double>(delta.app_done) / sim::kSecond);
-  std::printf("modelled ktaud cpu share: full %.5f%%, delta %.5f%%\n\n",
-              100 * full.daemon_cpu_share, 100 * delta.daemon_cpu_share);
+  rep.printf("\nextractions: %llu (both modes)\n",
+             static_cast<unsigned long long>(full.extractions));
+  rep.printf("bytes/period at steady state: full %llu, delta %llu "
+             "(%.1fx reduction)\n",
+             static_cast<unsigned long long>(full.steady_bytes),
+             static_cast<unsigned long long>(delta.steady_bytes),
+             delta.steady_bytes
+                 ? static_cast<double>(full.steady_bytes) /
+                       static_cast<double>(delta.steady_bytes)
+                 : 0.0);
+  rep.printf("total bytes: full %llu, delta %llu\n",
+             static_cast<unsigned long long>(full.total_bytes),
+             static_cast<unsigned long long>(delta.total_bytes));
+  rep.printf("app completion: full %.6f s, delta %.6f s\n",
+             static_cast<double>(full.app_done) / sim::kSecond,
+             static_cast<double>(delta.app_done) / sim::kSecond);
+  rep.printf("modelled ktaud cpu share: full %.5f%%, delta %.5f%%\n\n",
+             100 * full.daemon_cpu_share, 100 * delta.daemon_cpu_share);
 
-  check("delta moves >= 5x fewer bytes per steady-state period",
-        delta.steady_bytes > 0 &&
-            full.steady_bytes >= 5 * delta.steady_bytes);
-  check("delta moves fewer bytes in total",
-        delta.total_bytes < full.total_bytes);
-  check("same extraction cadence in both modes",
-        full.extractions == delta.extractions && full.extractions > 100);
+  rep.gate("delta moves >= 5x fewer bytes per steady-state period",
+           delta.steady_bytes > 0 &&
+               full.steady_bytes >= 5 * delta.steady_bytes);
+  rep.gate("delta moves fewer bytes in total",
+           delta.total_bytes < full.total_bytes);
+  rep.gate("same extraction cadence in both modes",
+           full.extractions == delta.extractions && full.extractions > 100);
 
   // Same simulation, two wire versions, one merge pipeline: the v3 delta
   // reassembly must serve the exact rows the legacy v2 read does.
@@ -175,44 +183,27 @@ int main(int argc, char** argv) {
                   delta.merged_v2[i].incl_sec == delta.merged_v3[i].incl_sec;
     }
   }
-  check("v3 reassembly matches the legacy v2 view", same_view);
+  rep.gate("v3 reassembly matches the legacy v2 view", same_view);
 
-  check("ktaud perturbation strictly lower with deltas",
-        delta.app_done < full.app_done && delta.app_done > 0);
+  rep.gate("ktaud perturbation strictly lower with deltas",
+           delta.app_done < full.app_done && delta.app_done > 0);
 
-  check("delta run is deterministic",
-        delta.total_bytes == delta2.total_bytes &&
-            delta.steady_bytes == delta2.steady_bytes &&
-            delta.app_done == delta2.app_done);
-
-  FILE* f = std::fopen("BENCH_dataplane.json", "w");
-  if (f != nullptr) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"scale\": %.3f,\n"
-                 "  \"extractions\": %llu,\n"
-                 "  \"full_steady_bytes_per_period\": %llu,\n"
-                 "  \"delta_steady_bytes_per_period\": %llu,\n"
-                 "  \"full_total_bytes\": %llu,\n"
-                 "  \"delta_total_bytes\": %llu,\n"
-                 "  \"full_app_done_sec\": %.9f,\n"
-                 "  \"delta_app_done_sec\": %.9f,\n"
-                 "  \"full_cpu_share\": %.9f,\n"
-                 "  \"delta_cpu_share\": %.9f,\n"
-                 "  \"failures\": %d\n"
-                 "}\n",
-                 scale, static_cast<unsigned long long>(full.extractions),
-                 static_cast<unsigned long long>(full.steady_bytes),
-                 static_cast<unsigned long long>(delta.steady_bytes),
-                 static_cast<unsigned long long>(full.total_bytes),
-                 static_cast<unsigned long long>(delta.total_bytes),
-                 static_cast<double>(full.app_done) / sim::kSecond,
-                 static_cast<double>(delta.app_done) / sim::kSecond,
-                 full.daemon_cpu_share, delta.daemon_cpu_share, failures);
-    std::fclose(f);
-    std::printf("wrote BENCH_dataplane.json\n");
-  }
-
-  std::printf("\n%d failure(s)\n", failures);
-  return failures;
+  rep.gate("delta run is deterministic",
+           delta.total_bytes == delta2.total_bytes &&
+               delta.steady_bytes == delta2.steady_bytes &&
+               delta.app_done == delta2.app_done);
 }
+
+[[maybe_unused]] const bool registered = register_scenario(
+    {.name = "ktaud_scale",
+     .title = "KTAUD at scale: full vs delta extraction on a "
+              "sleeper-daemon node",
+     .default_scale = kDefaultScale,
+     .order = 61,
+     .trials = ktaud_trials,
+     .report = ktaud_report});
+
+}  // namespace
+}  // namespace ktau::expt
+
+KTAU_BENCH_MAIN("ktaud_scale")

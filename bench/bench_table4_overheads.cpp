@@ -5,21 +5,82 @@
 //  1. The simulated-testbed numbers: KTAU's own overhead tracking (the
 //     paper's "internal KTAU timing/overhead query utilities") during an
 //     instrumented LU run, in 450 MHz cycles.  Paper: start mean 244.4 /
-//     stddev 236.3 / min 160; stop mean 295.3 / 268.8 / 214.
+//     stddev 236.3 / min 160; stop mean 295.3 / 268.8 / 214.  This part is
+//     the registered "table4" scenario (and what bench_matrix runs).
 //  2. google-benchmark microbenchmarks of this implementation's actual
-//     probe hot path on the host machine (engineering sanity numbers).
+//     probe hot path on the host machine (engineering sanity numbers) —
+//     standalone-binary only: host timings are not deterministic, so they
+//     never feed the scenario output or the JSON document.
+#include <vector>
+
+#include "experiments/harness.hpp"
+#include "experiments/perturb.hpp"
+
+namespace ktau::expt {
+namespace {
+
+std::vector<TrialSpec> table4_trials(const ScenarioParams& p) {
+  // Historical seed: run_perturbation_study's default seed 42 for the one
+  // fully instrumented LU run the direct-overhead numbers come from.
+  const auto cfg = perturb_run_config(PerturbMode::ProfAllTau, 16, p.scale,
+                                      p.seed(42), Workload::LU);
+  return {{"profalltau_lu", [cfg] {
+             auto run = run_chiba(cfg);
+             return trial_result(
+                 std::move(run),
+                 {{"start_mean", run.overhead_start_mean},
+                  {"start_stddev", run.overhead_start_stddev},
+                  {"start_min", run.overhead_start_min},
+                  {"stop_mean", run.overhead_stop_mean},
+                  {"stop_stddev", run.overhead_stop_stddev},
+                  {"stop_min", run.overhead_stop_min},
+                  {"samples",
+                   static_cast<double>(run.overhead_samples)}});
+           }}};
+}
+
+void table4_report(Report& rep, const ScenarioParams&,
+                   const std::vector<TrialResult>& results) {
+  const auto& run = payload<ChibaRunResult>(results[0]);
+  rep.printf("\n%-10s %10s %10s %10s   (paper)\n", "Operation", "Mean",
+             "Std.Dev", "Min");
+  rep.printf("%-10s %10.1f %10.1f %10.1f   (244.4 / 236.3 / 160)\n", "Start",
+             run.overhead_start_mean, run.overhead_start_stddev,
+             run.overhead_start_min);
+  rep.printf("%-10s %10.1f %10.1f %10.1f   (295.3 / 268.8 / 214)\n", "Stop",
+             run.overhead_stop_mean, run.overhead_stop_stddev,
+             run.overhead_stop_min);
+  rep.printf("samples: %llu probe firings\n",
+             static_cast<unsigned long long>(run.overhead_samples));
+  rep.gate("overhead distribution populated (samples > 0)",
+           run.overhead_samples > 0);
+}
+
+[[maybe_unused]] const bool registered = register_scenario(
+    {.name = "table4",
+     .title = "Table 4: Direct Overheads (cycles), simulated 450 MHz "
+              "testbed",
+     .default_scale = 0.05,
+     .order = 30,
+     .trials = table4_trials,
+     .report = table4_report});
+
+}  // namespace
+}  // namespace ktau::expt
+
+#ifndef KTAU_BENCH_NO_MAIN
+
+// -- host microbenchmarks of the measurement hot path (standalone only) ------
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
+#include <cstdlib>
+#include <iostream>
 
-#include "experiments/perturb.hpp"
 #include "ktau/system.hpp"
-
-using namespace ktau;
 
 namespace {
 
-// -- host microbenchmarks of the measurement hot path -----------------------
+using namespace ktau;
 
 void BM_ProbePairEnabled(benchmark::State& state) {
   meas::KtauConfig cfg;
@@ -82,36 +143,25 @@ BENCHMARK(BM_AtomicEvent);
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Part 1: simulated Table 4 from an instrumented LU run.
-  double scale = 0.05;
+  // Part 1: the registered table4 scenario through the shared runner.  A
+  // bare positional number is the historical scale argument; it is consumed
+  // here so google-benchmark does not see it.
+  ktau::expt::MatrixOptions opt;
+  opt.filter = {"table4"};
   if (argc > 1) {
     const double s = std::atof(argv[1]);
     if (s > 0) {
-      scale = s;
-      // consume so google-benchmark does not see it
+      opt.scale = s;
       for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];
       --argc;
     }
   }
-  std::printf("Table 4: Direct Overheads (cycles), simulated 450 MHz "
-              "testbed (scale %.2f)\n",
-              scale);
-  expt::PerturbStudyConfig cfg;
-  cfg.scale = scale;
-  cfg.repetitions = 1;
-  cfg.run_sweep = false;
-  const auto study = expt::run_perturbation_study(cfg);
-  std::printf("\n%-10s %10s %10s %10s   (paper)\n", "Operation", "Mean",
-              "Std.Dev", "Min");
-  std::printf("%-10s %10.1f %10.1f %10.1f   (244.4 / 236.3 / 160)\n", "Start",
-              study.start_mean, study.start_stddev, study.start_min);
-  std::printf("%-10s %10.1f %10.1f %10.1f   (295.3 / 268.8 / 214)\n", "Stop",
-              study.stop_mean, study.stop_stddev, study.stop_min);
-  std::printf("samples: %llu probe firings\n\n",
-              static_cast<unsigned long long>(study.samples));
+  const int failures = ktau::expt::run_matrix(opt, std::cout, std::cerr);
 
   // Part 2: host microbenchmarks.
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return failures;
 }
+
+#endif  // KTAU_BENCH_NO_MAIN

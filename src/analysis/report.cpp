@@ -1,0 +1,186 @@
+#include "analysis/report.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace ktau::analysis {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  stack_.push_back('{');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && stack_.back() == '{');
+  stack_.pop_back();
+  if (!first_in_scope_) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << '}';
+  first_in_scope_ = false;
+  if (stack_.empty()) emitted_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  stack_.push_back('[');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back() == '[');
+  stack_.pop_back();
+  if (!first_in_scope_) {
+    os_ << '\n';
+    indent();
+  }
+  os_ << ']';
+  first_in_scope_ = false;
+  if (stack_.empty()) emitted_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && stack_.back() == '{');
+  separate();
+  os_ << '"' << json_escape(k) << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  write_json_double(os_, v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    // Value immediately follows its key on the same line.
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // root element
+  if (!first_in_scope_) os_ << ',';
+  os_ << '\n';
+  indent();
+  first_in_scope_ = false;
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+int render_gate_summary(std::ostream& os, const std::vector<GateLine>& gates) {
+  // Per-scenario tally in first-appearance order.
+  std::vector<std::string> order;
+  std::map<std::string, std::pair<int, int>> tally;  // scenario -> {pass, total}
+  int failures = 0;
+  for (const auto& g : gates) {
+    auto [it, inserted] = tally.emplace(g.scenario, std::pair<int, int>{0, 0});
+    if (inserted) order.push_back(g.scenario);
+    ++it->second.second;
+    if (g.pass) {
+      ++it->second.first;
+    } else {
+      ++failures;
+    }
+  }
+
+  os << "\n=== gate summary ===\n";
+  for (const auto& name : order) {
+    const auto& [pass, total] = tally.at(name);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-24s %d/%d gates passed%s\n",
+                  name.c_str(), pass, total, pass == total ? "" : "  <-- FAIL");
+    os << buf;
+  }
+  if (failures > 0) {
+    os << "failed gates:\n";
+    for (const auto& g : gates) {
+      if (!g.pass) os << "  " << g.scenario << ": " << g.gate << "\n";
+    }
+  }
+  os << "total: " << (gates.size() - static_cast<std::size_t>(failures)) << "/"
+     << gates.size() << " gates passed, " << failures << " failure(s)\n";
+  return failures;
+}
+
+}  // namespace ktau::analysis

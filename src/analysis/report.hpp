@@ -1,0 +1,81 @@
+// Machine-readable reporting primitives for the experiment matrix.
+//
+// The run harness (src/experiments/harness.*) emits one JSON document per
+// invocation instead of each bench hand-rolling its own BENCH_*.json.  The
+// writer here is deliberately deterministic: fixed key order (callers emit
+// keys explicitly), fixed indentation, fixed number formatting — so a
+// `--jobs 8` run serializes byte-identically to a `--jobs 1` run and CI can
+// `cmp` the two.  No wall clocks, hostnames, or dates belong in this format.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ktau::analysis {
+
+/// Escapes a string for inclusion in a JSON document (quotes not included).
+std::string json_escape(std::string_view s);
+
+/// Deterministic double formatting: shortest-width round-trip via %.17g,
+/// with NaN/Inf mapped to null (JSON has no representation for them).
+void write_json_double(std::ostream& os, double v);
+
+/// Minimal streaming JSON writer with explicit structure calls.  The caller
+/// is responsible for well-formedness (every begin has an end, keys only
+/// inside objects); assertions guard the common mistakes in debug builds.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next key/value pair (objects only).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once every opened scope has been closed.
+  bool complete() const { return stack_.empty() && emitted_root_; }
+
+ private:
+  void separate();  // comma + newline + indent before a new element
+  void indent();
+
+  std::ostream& os_;
+  std::vector<char> stack_;   // '{' or '[' per open scope
+  bool first_in_scope_ = true;
+  bool after_key_ = false;
+  bool emitted_root_ = false;
+};
+
+/// One PASS/FAIL gate outcome, qualified by the scenario that emitted it.
+struct GateLine {
+  std::string scenario;
+  std::string gate;
+  bool pass = false;
+};
+
+/// Renders the end-of-run gate summary: per-scenario pass counts plus an
+/// explicit list of every failed gate.  Returns the number of failures.
+int render_gate_summary(std::ostream& os, const std::vector<GateLine>& gates);
+
+}  // namespace ktau::analysis

@@ -1,0 +1,462 @@
+#include "experiments/harness.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <thread>
+
+#include "analysis/report.hpp"
+#include "sim/rng.hpp"
+
+namespace ktau::expt {
+
+namespace {
+
+std::vector<ScenarioSpec>& registry() {
+  static std::vector<ScenarioSpec> scenarios;
+  return scenarios;
+}
+
+/// Salt for (user seed, repeat): 0 = "historical seeds" only when the user
+/// gave no seed and this is the first repetition.
+std::uint64_t salt_for(bool seed_set, std::uint64_t user_seed, int repeat) {
+  if (!seed_set && repeat == 0) return 0;
+  std::uint64_t s =
+      user_seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(repeat + 1));
+  std::uint64_t salt = sim::splitmix64(s);
+  if (salt == 0) salt = 1;
+  return salt;
+}
+
+bool matches_filter(const std::string& name,
+                    const std::vector<std::string>& filter) {
+  if (filter.empty()) return true;
+  for (const auto& f : filter) {
+    if (name == f || name.find(f) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool parse_positive_double(const char* s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v > 0)) return false;
+  out = v;
+  return true;
+}
+
+bool parse_positive_int(const char* s, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1 || v > 1'000'000) return false;
+  out = static_cast<int>(v);
+  return true;
+}
+
+void split_csv(const std::string& csv, std::vector<std::string>& out) {
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+}
+
+/// One (scenario, repeat) execution unit.
+struct Unit {
+  const ScenarioSpec* spec = nullptr;
+  ScenarioParams params;
+  std::vector<TrialSpec> trials;
+  std::vector<TrialResult> results;
+  std::vector<std::string> errors;  // empty string = trial succeeded
+  std::vector<GateResult> gates;    // filled during reporting
+};
+
+void print_unit_header(std::ostream& out, const Unit& unit, int total_repeats) {
+  out << "==========================================================\n";
+  out << unit.spec->name << " — " << unit.spec->title << "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "workload scale: %.2f of paper-length runs", unit.params.scale);
+  out << line << "\n";
+  if (total_repeats > 1) {
+    std::snprintf(line, sizeof(line), "repeat %d/%d (seed salt 0x%llx)",
+                  unit.params.repeat + 1, total_repeats,
+                  static_cast<unsigned long long>(unit.params.salt));
+    out << line << "\n";
+  }
+  out << "==========================================================\n";
+}
+
+void write_matrix_json(std::ostream& os, const std::vector<Unit>& units,
+                       int trials_per_scenario, int failures) {
+  analysis::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "ktau-matrix-v1");
+  w.kv("trials_per_scenario", trials_per_scenario);
+  w.key("scenarios").begin_array();
+  // Units arrive grouped by scenario in canonical order; emit one scenario
+  // object per group with its repeats nested.
+  for (std::size_t i = 0; i < units.size();) {
+    const ScenarioSpec* spec = units[i].spec;
+    w.begin_object();
+    w.kv("name", spec->name);
+    w.kv("title", spec->title);
+    w.kv("scale", units[i].params.scale);
+    w.key("repeats").begin_array();
+    for (; i < units.size() && units[i].spec == spec; ++i) {
+      const Unit& u = units[i];
+      w.begin_object();
+      w.kv("repeat", u.params.repeat);
+      w.kv("salt", static_cast<std::uint64_t>(u.params.salt));
+      w.key("trials").begin_array();
+      for (std::size_t t = 0; t < u.trials.size(); ++t) {
+        w.begin_object();
+        w.kv("name", u.trials[t].name);
+        if (!u.errors[t].empty()) {
+          w.kv("error", u.errors[t]);
+        } else {
+          w.key("metrics").begin_object();
+          for (const auto& [k, v] : u.results[t].metrics) w.kv(k, v);
+          w.end_object();
+        }
+        w.end_object();
+      }
+      w.end_array();
+      w.key("gates").begin_array();
+      for (const auto& g : u.gates) {
+        w.begin_object();
+        w.kv("name", g.name);
+        w.kv("pass", g.pass);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("failures", failures);
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace
+
+std::uint64_t ScenarioParams::seed(std::uint64_t historical) const {
+  if (salt == 0) return historical;
+  std::uint64_t s = historical ^ salt;
+  return sim::splitmix64(s);
+}
+
+std::ostream& Report::info() { return info_ != nullptr ? *info_ : std::cerr; }
+
+void Report::printf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int len = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (len >= 0) {
+    std::string buf(static_cast<std::size_t>(len) + 1, '\0');
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    buf.resize(static_cast<std::size_t>(len));
+    out_ << buf;
+  }
+  va_end(args);
+}
+
+bool Report::gate(const std::string& what, bool ok) {
+  out_ << what << ": " << (ok ? "PASS" : "FAIL") << "\n";
+  gates_.push_back({what, ok});
+  return ok;
+}
+
+int Report::failures() const {
+  int n = 0;
+  for (const auto& g : gates_) n += g.pass ? 0 : 1;
+  return n;
+}
+
+bool register_scenario(ScenarioSpec spec) {
+  for (const auto& existing : registry()) {
+    if (existing.name == spec.name) {
+      std::fprintf(stderr, "harness: duplicate scenario name '%s' ignored\n",
+                   spec.name.c_str());
+      return false;
+    }
+  }
+  registry().push_back(std::move(spec));
+  return true;
+}
+
+std::vector<const ScenarioSpec*> scenarios() {
+  std::vector<const ScenarioSpec*> out;
+  out.reserve(registry().size());
+  for (const auto& s : registry()) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const ScenarioSpec* a, const ScenarioSpec* b) {
+              return a->order != b->order ? a->order < b->order
+                                          : a->name < b->name;
+            });
+  return out;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  for (const auto& s : registry()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool parse_matrix_args(int argc, char** argv, MatrixOptions& opt,
+                       bool& want_list, bool& want_help, std::string& error) {
+  want_list = false;
+  want_help = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        error = std::string(flag) + " requires a value";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      want_help = true;
+    } else if (arg == "--list") {
+      want_list = true;
+    } else if (arg == "--scale") {
+      const char* v = next_value("--scale");
+      if (v == nullptr || !parse_positive_double(v, opt.scale)) {
+        if (error.empty()) error = "--scale expects a positive number";
+        return false;
+      }
+    } else if (arg == "--trials") {
+      const char* v = next_value("--trials");
+      if (v == nullptr || !parse_positive_int(v, opt.trials)) {
+        if (error.empty()) error = "--trials expects a positive integer";
+        return false;
+      }
+    } else if (arg == "--jobs") {
+      const char* v = next_value("--jobs");
+      if (v == nullptr || !parse_positive_int(v, opt.jobs)) {
+        if (error.empty()) error = "--jobs expects a positive integer";
+        return false;
+      }
+    } else if (arg == "--seed") {
+      const char* v = next_value("--seed");
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      opt.seed = std::strtoull(v, &end, 0);
+      if (end == v || *end != '\0') {
+        error = "--seed expects an unsigned integer";
+        return false;
+      }
+      opt.seed_set = true;
+    } else if (arg == "--json") {
+      const char* v = next_value("--json");
+      if (v == nullptr) return false;
+      opt.json_path = v;
+    } else if (arg == "--filter") {
+      const char* v = next_value("--filter");
+      if (v == nullptr) return false;
+      split_csv(v, opt.filter);
+    } else if (!arg.empty() && arg[0] != '-') {
+      // Bare positional number = workload scale (historical `bench_foo 0.1`).
+      if (!parse_positive_double(arg.c_str(), opt.scale)) {
+        error = "unrecognized positional argument '" + arg +
+                "' (expected a positive scale)";
+        return false;
+      }
+    } else {
+      error = "unknown option '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+void list_scenarios(std::ostream& out) {
+  out << "registered scenarios (canonical order):\n";
+  for (const ScenarioSpec* s : scenarios()) {
+    char line[240];
+    std::snprintf(line, sizeof(line), "  %-22s default scale %.2f  %s\n",
+                  s->name.c_str(), s->default_scale, s->title.c_str());
+    out << line;
+  }
+}
+
+int run_matrix(const MatrixOptions& opt, std::ostream& out,
+               std::ostream& info) {
+  // ---- select + decompose -------------------------------------------------
+  std::vector<Unit> units;
+  for (const ScenarioSpec* spec : scenarios()) {
+    if (!matches_filter(spec->name, opt.filter)) continue;
+    for (int repeat = 0; repeat < opt.trials; ++repeat) {
+      Unit u;
+      u.spec = spec;
+      u.params.scale = opt.scale > 0 ? opt.scale : spec->default_scale;
+      u.params.repeat = repeat;
+      u.params.salt = salt_for(opt.seed_set, opt.seed, repeat);
+      u.trials = spec->trials(u.params);
+      u.results.resize(u.trials.size());
+      u.errors.resize(u.trials.size());
+      units.push_back(std::move(u));
+    }
+  }
+  if (units.empty()) {
+    info << "harness: no scenario matches the filter (try --list)\n";
+    return 1;
+  }
+
+  // ---- execute trials on the worker pool ----------------------------------
+  struct Task {
+    std::size_t unit;
+    std::size_t trial;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    for (std::size_t t = 0; t < units[u].trials.size(); ++t) {
+      tasks.push_back({u, t});
+    }
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex info_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks.size()) return;
+      Unit& u = units[tasks[i].unit];
+      const std::size_t t = tasks[i].trial;
+      const auto t0 = std::chrono::steady_clock::now();
+      try {
+        u.results[t] = u.trials[t].run();
+      } catch (const std::exception& e) {
+        u.errors[t] = e.what();
+      } catch (...) {
+        u.errors[t] = "unknown exception";
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      std::lock_guard<std::mutex> lock(info_mutex);
+      info << "  [" << u.spec->name << "/" << u.trials[t].name << " done in "
+           << static_cast<long long>(ms) << " ms"
+           << (u.errors[t].empty() ? "" : " — ERROR: " + u.errors[t]) << "]\n";
+    }
+  };
+
+  const int jobs = std::max(
+      1, std::min<int>(opt.jobs, static_cast<int>(tasks.size())));
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  // ---- report sequentially in canonical order -----------------------------
+  int failures = 0;
+  std::vector<analysis::GateLine> gate_lines;
+  for (Unit& u : units) {
+    print_unit_header(out, u, opt.trials);
+    Report rep(out, &info);
+    bool all_ok = true;
+    for (std::size_t t = 0; t < u.trials.size(); ++t) {
+      if (!u.errors[t].empty()) {
+        all_ok = false;
+        rep.printf("trial %s failed: %s\n", u.trials[t].name.c_str(),
+                   u.errors[t].c_str());
+      }
+    }
+    if (all_ok) {
+      u.spec->report(rep, u.params, u.results);
+    } else {
+      rep.gate("all trials completed", false);
+    }
+    u.gates = rep.gates();
+    failures += rep.failures();
+    for (const auto& g : u.gates) {
+      gate_lines.push_back({u.spec->name, g.name, g.pass});
+    }
+    out << "\n";
+  }
+
+  analysis::render_gate_summary(out, gate_lines);
+
+  // ---- machine-readable document ------------------------------------------
+  if (!opt.json_path.empty()) {
+    std::ofstream f(opt.json_path);
+    if (!f) {
+      info << "harness: cannot write " << opt.json_path << "\n";
+      ++failures;
+    } else {
+      write_matrix_json(f, units, opt.trials, failures);
+      info << "wrote " << opt.json_path << "\n";
+    }
+  }
+  return failures;
+}
+
+int harness_main(int argc, char** argv, const char* default_filter) {
+  MatrixOptions opt;
+  bool want_list = false, want_help = false;
+  std::string error;
+  if (!parse_matrix_args(argc, argv, opt, want_list, want_help, error)) {
+    std::fprintf(stderr, "error: %s (see --help)\n", error.c_str());
+    return 2;
+  }
+  if (want_help) {
+    std::printf(
+        "usage: %s [scale] [options]\n"
+        "\n"
+        "Runs registered experiment scenarios through the shared harness.\n"
+        "\n"
+        "  --scale X     workload scale as a fraction of the paper-length\n"
+        "                runs (default %.2f = expt::kDefaultScale, unless\n"
+        "                the scenario declares another — see --list).\n"
+        "                A bare positional number is accepted too.\n"
+        "  --trials N    repetitions per scenario with derived seeds\n"
+        "                (default 1; repeat 0 keeps historical seeds)\n"
+        "  --jobs N      worker threads for trial execution (default 1;\n"
+        "                output is byte-identical for any N)\n"
+        "  --seed S      base seed override (decorrelates all trials)\n"
+        "  --json PATH   write the machine-readable result document\n"
+        "  --filter A,B  run only scenarios matching a name/substring\n"
+        "  --list        list registered scenarios and exit\n"
+        "  --help        this text\n"
+        "\n"
+        "Exit status is the number of failed gates.\n",
+        argv[0], kDefaultScale);
+    return 0;
+  }
+  if (want_list) {
+    list_scenarios(std::cout);
+    return 0;
+  }
+  if (opt.filter.empty() && default_filter != nullptr &&
+      default_filter[0] != '\0') {
+    split_csv(default_filter, opt.filter);
+  }
+  const int failures = run_matrix(opt, std::cout, std::cerr);
+  return failures > 125 ? 125 : failures;
+}
+
+}  // namespace ktau::expt

@@ -5,10 +5,8 @@
 
 namespace ktau::expt {
 
-namespace {
-
-ChibaRunConfig make_cfg(PerturbMode mode, int ranks, double scale,
-                        std::uint64_t seed, Workload workload) {
+ChibaRunConfig perturb_run_config(PerturbMode mode, int ranks, double scale,
+                                  std::uint64_t seed, Workload workload) {
   ChibaRunConfig cfg;
   cfg.config = ChibaConfig::C128x1;  // one rank per node, as in §5.3
   cfg.workload = workload;
@@ -26,8 +24,8 @@ ChibaRunConfig make_cfg(PerturbMode mode, int ranks, double scale,
   return cfg;
 }
 
-PerturbSummary summarize(const std::vector<double>& runs,
-                         const PerturbSummary* base) {
+PerturbSummary perturb_summarize(const std::vector<double>& runs,
+                                 const PerturbSummary* base) {
   PerturbSummary s;
   s.runs_sec = runs;
   s.min_sec = *std::min_element(runs.begin(), runs.end());
@@ -42,8 +40,6 @@ PerturbSummary summarize(const std::vector<double>& runs,
   }
   return s;
 }
-
-}  // namespace
 
 apps::LuParams perturb_lu_params(int ranks, double scale,
                                  std::uint64_t seed) {
@@ -67,7 +63,7 @@ apps::LuParams perturb_lu_params(int ranks, double scale,
 
 double perturb_single_run(PerturbMode mode, int ranks, double scale,
                           std::uint64_t seed, Workload workload) {
-  const auto result = run_chiba(make_cfg(mode, ranks, scale, seed, workload));
+  const auto result = run_chiba(perturb_run_config(mode, ranks, scale, seed, workload));
   return result.exec_sec;
 }
 
@@ -88,7 +84,7 @@ PerturbStudyResult run_perturbation_study(const PerturbStudyConfig& cfg) {
     const auto base_it = out.lu.find(PerturbMode::Base);
     const PerturbSummary* base =
         base_it == out.lu.end() ? nullptr : &base_it->second;
-    out.lu[mode] = summarize(runs, base);
+    out.lu[mode] = perturb_summarize(runs, base);
   }
 
   // Sweep3D: Base vs ProfAll+Tau (the paper reports only those two).
@@ -104,12 +100,12 @@ PerturbStudyResult run_perturbation_study(const PerturbStudyConfig& cfg) {
       const auto base_it = out.sweep.find(PerturbMode::Base);
       const PerturbSummary* base =
           base_it == out.sweep.end() ? nullptr : &base_it->second;
-      out.sweep[mode] = summarize(runs, base);
+      out.sweep[mode] = perturb_summarize(runs, base);
     }
   }
 
   // Table 4: direct overheads from one fully instrumented LU run.
-  const auto probed = run_chiba(make_cfg(PerturbMode::ProfAllTau,
+  const auto probed = run_chiba(perturb_run_config(PerturbMode::ProfAllTau,
                                          cfg.lu_ranks, cfg.scale, cfg.seed,
                                          Workload::LU));
   out.start_mean = probed.overhead_start_mean;

@@ -54,4 +54,15 @@ PerturbStudyResult run_perturbation_study(const PerturbStudyConfig& cfg);
 double perturb_single_run(PerturbMode mode, int ranks, double scale,
                           std::uint64_t seed, Workload workload);
 
+/// The ChibaRunConfig a single perturbation-study run uses — exposed so
+/// the table3/table4 scenarios can decompose the study into independent
+/// parallel trials and reassemble the summaries afterwards.
+ChibaRunConfig perturb_run_config(PerturbMode mode, int ranks, double scale,
+                                  std::uint64_t seed, Workload workload);
+
+/// Folds individual run times into the study's min/avg/%slowdown summary
+/// (slowdowns are relative to `base`; pass nullptr for the Base row).
+PerturbSummary perturb_summarize(const std::vector<double>& runs_sec,
+                                 const PerturbSummary* base);
+
 }  // namespace ktau::expt

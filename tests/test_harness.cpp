@@ -1,0 +1,477 @@
+// Tests for the experiment spine (src/experiments/harness.*) and its
+// reporting primitives (src/analysis/report.*):
+//
+//   - seed derivation (salt 0 = historical seeds; salted repeats
+//     decorrelate deterministically);
+//   - scenario registry ordering, lookup, duplicate rejection, filtering;
+//   - runner CLI parsing;
+//   - deterministic JSON emission (escaping, double formatting, writer
+//     structure);
+//   - the byte-identity contract: run_matrix output (stdout and JSON) is
+//     identical for --jobs 1 and --jobs 4, including salted repeats;
+//   - trial exceptions turn into a failed "all trials completed" gate and
+//     an "error" entry in the JSON document;
+//   - cross-trial isolation: two full sim instances running concurrently
+//     produce bit-identical results to sequential execution;
+//   - TraceBuffer wraparound / drop-accounting edges (the lossy ring the
+//     tracing ablation leans on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "experiments/chiba.hpp"
+#include "experiments/harness.hpp"
+#include "ktau/trace.hpp"
+#include "sim/rng.hpp"
+
+namespace ktau::expt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Seed derivation
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioParamsSeed, SaltZeroPreservesHistoricalSeeds) {
+  ScenarioParams p;  // repeat 0, salt 0
+  EXPECT_EQ(p.seed(7), 7u);
+  EXPECT_EQ(p.seed(42), 42u);
+  EXPECT_EQ(p.seed(0), 0u);
+}
+
+TEST(ScenarioParamsSeed, SaltMixesDeterministically) {
+  ScenarioParams p;
+  p.salt = 0xDEADBEEFu;
+  const std::uint64_t a = p.seed(7);
+  std::uint64_t state = 7ull ^ 0xDEADBEEFull;
+  EXPECT_EQ(a, sim::splitmix64(state));
+  EXPECT_EQ(a, p.seed(7)) << "pure function of (salt, historical)";
+  EXPECT_NE(a, 7u);
+
+  ScenarioParams q;
+  q.salt = 0xDEADBEF0u;
+  EXPECT_NE(p.seed(7), q.seed(7)) << "different salts decorrelate";
+  EXPECT_NE(p.seed(7), p.seed(8)) << "different historical seeds stay apart";
+}
+
+TEST(Harness, DefaultScaleIsTheDocumentedConstant) {
+  // CLAUDE.md / EXPERIMENTS.md quote `bench 0.1`; the constant is the single
+  // source of truth for that default.
+  EXPECT_DOUBLE_EQ(kDefaultScale, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+// The test binary links no bench scenario objects, so the registry holds
+// only what these tests register.  Names are prefixed to keep them apart
+// from any future real scenario.
+ScenarioSpec make_counting_scenario(const std::string& name, int order,
+                                    int n_trials) {
+  ScenarioSpec s;
+  s.name = name;
+  s.title = "test scenario " + name;
+  s.order = order;
+  s.trials = [n_trials](const ScenarioParams& p) {
+    std::vector<TrialSpec> trials;
+    for (int i = 0; i < n_trials; ++i) {
+      trials.push_back({"t" + std::to_string(i),
+                        [seed = p.seed(static_cast<std::uint64_t>(i)),
+                         scale = p.scale] {
+                          // Cheap deterministic work: a seeded RNG walk.
+                          sim::Rng rng(seed + 1);
+                          std::uint64_t acc = 0;
+                          const int steps =
+                              100 + static_cast<int>(scale * 100);
+                          for (int k = 0; k < steps; ++k) {
+                            acc ^= rng.next_u64();
+                          }
+                          return trial_result(
+                              acc, {{"acc", static_cast<double>(acc & 0xFFFF)},
+                                    {"steps", static_cast<double>(steps)}});
+                        }});
+    }
+    return trials;
+  };
+  s.report = [](Report& rep, const ScenarioParams& p,
+                const std::vector<TrialResult>& results) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      rep.printf("trial %zu acc %.0f\n", i, results[i].metrics[0].second);
+    }
+    rep.printf("scale %.2f repeat %d\n", p.scale, p.repeat);
+    rep.gate("all payloads recoverable", [&] {
+      for (const auto& r : results) {
+        (void)payload<std::uint64_t>(r);
+      }
+      return true;
+    }());
+  };
+  return s;
+}
+
+bool register_fixture_scenarios() {
+  static const bool once = [] {
+    register_scenario(make_counting_scenario("zz_spine_b", 9001, 3));
+    register_scenario(make_counting_scenario("zz_spine_a", 9001, 2));
+    register_scenario(make_counting_scenario("zz_spine_c", 9000, 1));
+    ScenarioSpec thrower;
+    thrower.name = "zz_thrower";
+    thrower.title = "always throws";
+    thrower.order = 9002;
+    thrower.trials = [](const ScenarioParams&) {
+      std::vector<TrialSpec> trials;
+      trials.push_back({"ok", [] { return trial_result(1); }});
+      trials.push_back({"boom", []() -> TrialResult {
+                          throw std::runtime_error("boom");
+                        }});
+      return trials;
+    };
+    thrower.report = [](Report& rep, const ScenarioParams&,
+                        const std::vector<TrialResult>&) {
+      rep.gate("report should never run", false);
+    };
+    register_scenario(std::move(thrower));
+    return true;
+  }();
+  return once;
+}
+
+TEST(ScenarioRegistry, OrderThenNameAndLookup) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  const auto all = scenarios();
+  // Our fixtures sort after every real scenario (order 9000+) and among
+  // themselves by (order, name).
+  std::vector<std::string> ours;
+  for (const ScenarioSpec* s : all) {
+    if (s->name.rfind("zz_", 0) == 0) ours.push_back(s->name);
+  }
+  EXPECT_EQ(ours, (std::vector<std::string>{"zz_spine_c", "zz_spine_a",
+                                            "zz_spine_b", "zz_thrower"}));
+  ASSERT_NE(find_scenario("zz_spine_a"), nullptr);
+  EXPECT_EQ(find_scenario("zz_spine_a")->title, "test scenario zz_spine_a");
+  EXPECT_EQ(find_scenario("zz_no_such"), nullptr);
+}
+
+TEST(ScenarioRegistry, DuplicateNamesRejected) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  EXPECT_FALSE(register_scenario(make_counting_scenario("zz_spine_a", 1, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// CLI parsing
+// ---------------------------------------------------------------------------
+
+bool parse(std::vector<std::string> args, MatrixOptions& opt,
+           std::string* err = nullptr) {
+  args.insert(args.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& a : args) argv.push_back(a.data());
+  bool list = false, help = false;
+  std::string error;
+  const bool ok = parse_matrix_args(static_cast<int>(argv.size()), argv.data(),
+                                    opt, list, help, error);
+  if (err != nullptr) *err = error;
+  return ok;
+}
+
+TEST(MatrixCli, ParsesEveryFlag) {
+  MatrixOptions opt;
+  ASSERT_TRUE(parse({"--scale", "0.25", "--trials", "3", "--jobs", "4",
+                     "--seed", "0x2a", "--json", "out.json", "--filter",
+                     "table2,fig"},
+                    opt));
+  EXPECT_DOUBLE_EQ(opt.scale, 0.25);
+  EXPECT_EQ(opt.trials, 3);
+  EXPECT_EQ(opt.jobs, 4);
+  EXPECT_TRUE(opt.seed_set);
+  EXPECT_EQ(opt.seed, 42u);
+  EXPECT_EQ(opt.json_path, "out.json");
+  EXPECT_EQ(opt.filter, (std::vector<std::string>{"table2", "fig"}));
+}
+
+TEST(MatrixCli, BarePositionalNumberIsScale) {
+  MatrixOptions opt;
+  ASSERT_TRUE(parse({"0.3"}, opt));
+  EXPECT_DOUBLE_EQ(opt.scale, 0.3);
+}
+
+TEST(MatrixCli, RejectsBadInput) {
+  MatrixOptions opt;
+  std::string err;
+  EXPECT_FALSE(parse({"--scale", "-1"}, opt, &err));
+  EXPECT_FALSE(parse({"--trials", "0"}, opt, &err));
+  EXPECT_FALSE(parse({"--jobs"}, opt, &err));
+  EXPECT_FALSE(parse({"--bogus"}, opt, &err));
+  EXPECT_FALSE(parse({"notanumber"}, opt, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON primitives
+// ---------------------------------------------------------------------------
+
+TEST(JsonPrimitives, Escaping) {
+  using analysis::json_escape;
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(JsonPrimitives, DoubleFormatting) {
+  auto fmt = [](double v) {
+    std::ostringstream os;
+    analysis::write_json_double(os, v);
+    return os.str();
+  };
+  EXPECT_EQ(fmt(std::nan("")), "null");
+  EXPECT_EQ(fmt(INFINITY), "null");
+  EXPECT_EQ(fmt(-INFINITY), "null");
+  EXPECT_EQ(fmt(0.0), "0");
+  // Round-trip: %.17g preserves the exact bits of 0.1.
+  EXPECT_EQ(std::stod(fmt(0.1)), 0.1);
+}
+
+TEST(JsonPrimitives, WriterStructure) {
+  std::ostringstream os;
+  analysis::JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "x");
+  w.key("values").begin_array();
+  w.value(1).value(true).value(std::string_view("s"));
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            "{\n  \"name\": \"x\",\n  \"values\": [\n    1,\n    true,\n"
+            "    \"s\"\n  ]\n}");
+}
+
+TEST(JsonPrimitives, GateSummaryCountsFailures) {
+  std::ostringstream os;
+  const int failures = analysis::render_gate_summary(
+      os, {{"s1", "g1", true}, {"s1", "g2", false}, {"s2", "g3", true}});
+  EXPECT_EQ(failures, 1);
+  EXPECT_NE(os.str().find("<-- FAIL"), std::string::npos);
+  EXPECT_NE(os.str().find("g2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// run_matrix: byte identity, salted repeats, error handling
+// ---------------------------------------------------------------------------
+
+struct MatrixRun {
+  std::string out;
+  std::string json;
+  int failures = 0;
+};
+
+MatrixRun run_filtered(std::vector<std::string> filter, int jobs, int trials,
+                       bool with_json = true, std::uint64_t seed = 0,
+                       bool seed_set = false) {
+  MatrixOptions opt;
+  opt.filter = std::move(filter);
+  opt.jobs = jobs;
+  opt.trials = trials;
+  opt.seed = seed;
+  opt.seed_set = seed_set;
+  std::filesystem::path json_path;
+  if (with_json) {
+    json_path = std::filesystem::temp_directory_path() /
+                ("ktau_test_harness_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(jobs) + ".json");
+    opt.json_path = json_path.string();
+  }
+  std::ostringstream out, info;
+  MatrixRun r;
+  r.failures = run_matrix(opt, out, info);
+  r.out = out.str();
+  if (with_json) {
+    std::ifstream f(json_path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    r.json = ss.str();
+    std::filesystem::remove(json_path);
+  }
+  return r;
+}
+
+TEST(RunMatrix, JobsOutputIsByteIdentical) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  const auto seq = run_filtered({"zz_spine"}, 1, 3);
+  const auto par = run_filtered({"zz_spine"}, 4, 3);
+  EXPECT_EQ(seq.failures, 0);
+  EXPECT_EQ(par.failures, 0);
+  EXPECT_EQ(seq.out, par.out) << "--jobs must not leak into stdout";
+  EXPECT_EQ(seq.json, par.json) << "--jobs must not leak into the JSON";
+  EXPECT_FALSE(seq.json.empty());
+  EXPECT_NE(seq.json.find("\"schema\": \"ktau-matrix-v1\""),
+            std::string::npos);
+}
+
+TEST(RunMatrix, RepeatZeroKeepsHistoricalSaltAndLaterRepeatsDecorrelate) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  const auto r = run_filtered({"zz_spine_c"}, 1, 2);
+  // Repeat 0 runs the historical seeds (salt 0); repeat 1 is salted.
+  EXPECT_NE(r.json.find("\"salt\": 0"), std::string::npos);
+  EXPECT_NE(r.out.find("repeat 1/2"), std::string::npos);
+  EXPECT_NE(r.out.find("repeat 2/2"), std::string::npos);
+
+  // A user seed decorrelates repeat 0 as well: no zero salt anywhere.
+  const auto seeded =
+      run_filtered({"zz_spine_c"}, 1, 1, true, 1234, true);
+  EXPECT_EQ(seeded.json.find("\"salt\": 0"), std::string::npos);
+}
+
+TEST(RunMatrix, TrialExceptionBecomesFailedGateAndJsonError) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  const auto r = run_filtered({"zz_thrower"}, 2, 1);
+  EXPECT_GE(r.failures, 1);
+  EXPECT_NE(r.out.find("trial boom failed: boom"), std::string::npos);
+  EXPECT_NE(r.out.find("all trials completed: FAIL"), std::string::npos);
+  // The report callback must not run on partial results.
+  EXPECT_EQ(r.out.find("report should never run"), std::string::npos);
+  EXPECT_NE(r.json.find("\"error\": \"boom\""), std::string::npos);
+}
+
+TEST(RunMatrix, EmptySelectionIsAnError) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  MatrixOptions opt;
+  opt.filter = {"zz_definitely_absent"};
+  std::ostringstream out, info;
+  EXPECT_EQ(run_matrix(opt, out, info), 1);
+  EXPECT_NE(info.str().find("no scenario matches"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-trial isolation: whole sim instances are safe to run concurrently
+// ---------------------------------------------------------------------------
+
+ChibaRunConfig mini(std::uint64_t seed) {
+  ChibaRunConfig cfg;
+  cfg.config = ChibaConfig::C64x2;
+  cfg.workload = Workload::LU;
+  cfg.ranks = 16;
+  cfg.scale = 0.04;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_bit_identical(const ChibaRunResult& a, const ChibaRunResult& b) {
+  EXPECT_EQ(a.exec_sec, b.exec_sec);
+  EXPECT_EQ(a.engine_events, b.engine_events);
+  ASSERT_EQ(a.ranks.size(), b.ranks.size());
+  for (std::size_t r = 0; r < a.ranks.size(); ++r) {
+    EXPECT_EQ(a.ranks[r].exec_sec, b.ranks[r].exec_sec);
+    EXPECT_EQ(a.ranks[r].vol_sched_sec, b.ranks[r].vol_sched_sec);
+    EXPECT_EQ(a.ranks[r].invol_sched_sec, b.ranks[r].invol_sched_sec);
+    EXPECT_EQ(a.ranks[r].tcp_calls, b.ranks[r].tcp_calls);
+    EXPECT_EQ(a.ranks[r].recv_calls, b.ranks[r].recv_calls);
+  }
+}
+
+TEST(CrossTrialIsolation, ConcurrentRunsMatchSequentialBitForBit) {
+  // Sequential reference runs.
+  const auto seq5 = run_chiba(mini(5));
+  const auto seq6 = run_chiba(mini(6));
+
+  // The same two runs concurrently: distinct sim instance trees must not
+  // interact through any hidden shared state (the harness worker pool
+  // relies on exactly this).
+  ChibaRunResult par5, par6;
+  std::thread t5([&] { par5 = run_chiba(mini(5)); });
+  std::thread t6([&] { par6 = run_chiba(mini(6)); });
+  t5.join();
+  t6.join();
+
+  expect_bit_identical(seq5, par5);
+  expect_bit_identical(seq6, par6);
+  // And the two seeds genuinely differ (the comparison is not vacuous).
+  EXPECT_NE(seq5.engine_events, seq6.engine_events);
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer wraparound / drop accounting
+// ---------------------------------------------------------------------------
+
+meas::TraceRecord rec(std::uint64_t stamp) {
+  meas::TraceRecord r;
+  r.timestamp = static_cast<sim::TimeNs>(stamp);
+  r.type = meas::TraceType::Atomic;
+  r.value = stamp;
+  return r;
+}
+
+TEST(TraceBufferEdges, CapacityZeroRejected) {
+  EXPECT_THROW(meas::TraceBuffer(0), std::invalid_argument);
+}
+
+TEST(TraceBufferEdges, ExactFillDropsNothing) {
+  meas::TraceBuffer buf(4);
+  for (std::uint64_t i = 1; i <= 4; ++i) buf.push(rec(i));
+  EXPECT_EQ(buf.unread(), 4u);
+  EXPECT_EQ(buf.dropped_since_drain(), 0u);
+  std::vector<meas::TraceRecord> out;
+  EXPECT_EQ(buf.drain(out), 0u);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].value, i + 1);
+  EXPECT_EQ(buf.unread(), 0u);
+  EXPECT_EQ(buf.total_pushed(), 4u);
+}
+
+TEST(TraceBufferEdges, OverflowOverwritesOldestAndCountsDrops) {
+  meas::TraceBuffer buf(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) buf.push(rec(i));
+  EXPECT_EQ(buf.unread(), 4u) << "ring never holds more than capacity";
+  EXPECT_EQ(buf.dropped_since_drain(), 2u);
+  EXPECT_EQ(buf.total_pushed(), 6u);
+  std::vector<meas::TraceRecord> out;
+  EXPECT_EQ(buf.drain(out), 2u);
+  ASSERT_EQ(out.size(), 4u);
+  // The two oldest records (1, 2) were overwritten; the survivors drain
+  // oldest-first.
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].value, i + 3);
+  EXPECT_EQ(buf.dropped_since_drain(), 0u) << "drain resets the counter";
+}
+
+TEST(TraceBufferEdges, CapacityOneKeepsOnlyTheNewest) {
+  meas::TraceBuffer buf(1);
+  buf.push(rec(1));
+  buf.push(rec(2));
+  buf.push(rec(3));
+  EXPECT_EQ(buf.unread(), 1u);
+  std::vector<meas::TraceRecord> out;
+  EXPECT_EQ(buf.drain(out), 2u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, 3u);
+}
+
+TEST(TraceBufferEdges, DrainAppendsAndBufferIsReusable) {
+  meas::TraceBuffer buf(2);
+  buf.push(rec(1));
+  std::vector<meas::TraceRecord> out;
+  out.push_back(rec(99));
+  EXPECT_EQ(buf.drain(out), 0u);
+  ASSERT_EQ(out.size(), 2u) << "drain appends, it does not clear";
+  EXPECT_EQ(out[1].value, 1u);
+
+  // Post-drain pushes wrap correctly from the reset head.
+  for (std::uint64_t i = 10; i <= 12; ++i) buf.push(rec(i));
+  out.clear();
+  EXPECT_EQ(buf.drain(out), 1u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].value, 11u);
+  EXPECT_EQ(out[1].value, 12u);
+  EXPECT_EQ(buf.total_pushed(), 4u);
+}
+
+}  // namespace
+}  // namespace ktau::expt
