@@ -160,6 +160,14 @@ std::vector<TimelineEvent> merge_timeline(const meas::TraceSnapshot& ktrace,
       e.is_enter = rec.type == meas::TraceType::Entry;
       events.push_back(std::move(e));
     }
+    for (const auto& gap : task.gaps) {
+      TimelineEvent e;
+      e.timestamp = gap.before;
+      e.is_kernel = true;
+      e.is_gap = true;
+      e.lost = gap.dropped;
+      events.push_back(std::move(e));
+    }
   }
   for (const auto& rec : tau_prof.trace()) {
     TimelineEvent e;
@@ -174,6 +182,9 @@ std::vector<TimelineEvent> merge_timeline(const meas::TraceSnapshot& ktrace,
                      if (a.timestamp != b.timestamp) {
                        return a.timestamp < b.timestamp;
                      }
+                     // A gap's stamp is its upper bound, so it precedes
+                     // same-stamp events.
+                     if (a.is_gap != b.is_gap) return a.is_gap;
                      // At equal timestamps, exits come before enters so the
                      // indentation tree stays sane.
                      return !a.is_enter && b.is_enter;
@@ -192,10 +203,17 @@ void render_timeline(std::ostream& os, const std::string& title,
       os << "  ... (" << events.size() - max_events << " more events)\n";
       break;
     }
-    if (!e.is_enter && depth > 0) --depth;
     char buf[64];
     std::snprintf(buf, sizeof buf, "  %12.3f us ",
                   static_cast<double>(e.timestamp) / 1e3);
+    if (e.is_gap) {
+      // Loss markers sit outside the nesting: they neither open nor close
+      // a region, they say the region structure here is known-incomplete.
+      os << buf << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+         << "~ [K] " << e.lost << " records lost (ring overwrite)\n";
+      continue;
+    }
+    if (!e.is_enter && depth > 0) --depth;
     os << buf << std::string(static_cast<std::size_t>(depth) * 2, ' ')
        << (e.is_enter ? "> " : "< ") << (e.is_kernel ? "[K] " : "[U] ")
        << e.name << "\n";

@@ -47,10 +47,17 @@ struct TimelineEvent {
   std::string name;
   bool is_kernel = false;
   bool is_enter = true;
+  /// Known-incomplete span marker: `lost` kernel records were overwritten
+  /// at or before `timestamp` (from a TraceGap).  Rendered as an explicit
+  /// loss line, not an enter/leave.
+  bool is_gap = false;
+  std::uint64_t lost = 0;
 };
 
 /// Merges a KTAU per-task trace and a TAU user trace into one ordered
-/// event list (the Vampir-style correlation of Figure 2-E).
+/// event list (the Vampir-style correlation of Figure 2-E).  The task's
+/// typed loss records, if any, become gap marker events so known-incomplete
+/// spans stay visible; gapless traces produce exactly the legacy list.
 std::vector<TimelineEvent> merge_timeline(const meas::TraceSnapshot& ktrace,
                                           meas::Pid pid,
                                           const tau::Profiler& tau_prof);

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "analysis/merge.hpp"
 
@@ -18,9 +19,50 @@ struct RawEvent {
   KtlEvent::Kind kind = KtlEvent::Kind::Enter;
   std::string name;
   double value = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t first_seq = 0;
 };
 
 }  // namespace
+
+meas::TraceSnapshot merge_trace_frames(
+    const std::vector<meas::TraceSnapshot>& frames) {
+  meas::TraceSnapshot out;
+  std::unordered_map<meas::EventId, std::size_t> event_index;
+  std::unordered_map<meas::Pid, std::size_t> task_index;
+  for (const meas::TraceSnapshot& frame : frames) {
+    out.timestamp = frame.timestamp;
+    if (out.cpu_freq == 0) out.cpu_freq = frame.cpu_freq;
+    for (const meas::EventDesc& e : frame.events) {
+      const auto [it, fresh] = event_index.try_emplace(e.id, out.events.size());
+      if (fresh) out.events.push_back(e);
+    }
+    for (const meas::TaskTraceData& t : frame.tasks) {
+      const auto [it, fresh] = task_index.try_emplace(t.pid, out.tasks.size());
+      if (fresh) {
+        out.tasks.emplace_back();
+        out.tasks.back().pid = t.pid;
+        out.tasks.back().base_seq = t.base_seq;
+      }
+      meas::TaskTraceData& merged = out.tasks[it->second];
+      if (merged.name.empty()) merged.name = t.name;
+      if (frame.incremental && !fresh && t.base_seq > merged.next_seq) {
+        // Records between the frames that no frame accounts for: a reader
+        // reset or a skipped frame.  Surface it, don't close over it.
+        merged.gaps.push_back(meas::TraceGap{
+            t.records.empty() ? frame.timestamp : t.records.front().timestamp,
+            t.base_seq - merged.next_seq, merged.next_seq});
+        merged.dropped += t.base_seq - merged.next_seq;
+      }
+      merged.records.insert(merged.records.end(), t.records.begin(),
+                            t.records.end());
+      merged.dropped += t.dropped;
+      merged.gaps.insert(merged.gaps.end(), t.gaps.begin(), t.gaps.end());
+      if (t.next_seq > merged.next_seq) merged.next_seq = t.next_seq;
+    }
+  }
+  return out;
+}
 
 void export_ktl(std::ostream& os, sim::FreqHz freq,
                 const std::vector<TraceStream>& streams) {
@@ -54,6 +96,16 @@ void export_ktl(std::ostream& os, sim::FreqHz freq,
           }
           events.push_back(std::move(e));
         }
+        for (const auto& gap : task.gaps) {
+          RawEvent e;
+          e.ts = gap.before;
+          e.stream = stream_id;
+          e.is_kernel = true;
+          e.kind = KtlEvent::Kind::Gap;
+          e.dropped = gap.dropped;
+          e.first_seq = gap.first_seq;
+          events.push_back(std::move(e));
+        }
       }
     }
     if (s.tau != nullptr) {
@@ -72,6 +124,12 @@ void export_ktl(std::ostream& os, sim::FreqHz freq,
   std::stable_sort(events.begin(), events.end(),
                    [](const RawEvent& a, const RawEvent& b) {
                      if (a.ts != b.ts) return a.ts < b.ts;
+                     // A gap's stamp is its upper bound — the lost records
+                     // all happened at or before it — so it sorts ahead of
+                     // same-stamp events.
+                     const bool ag = a.kind == KtlEvent::Kind::Gap;
+                     const bool bg = b.kind == KtlEvent::Kind::Gap;
+                     if (ag != bg) return ag;
                      // leaves before enters at identical stamps keeps
                      // nesting well-formed for single-pass viewers.
                      return a.kind == KtlEvent::Kind::Leave &&
@@ -90,6 +148,10 @@ void export_ktl(std::ostream& os, sim::FreqHz freq,
       case KtlEvent::Kind::Value:
         os << "V\t" << e.ts << "\t" << e.stream << "\t" << e.name << "\t"
            << e.value << "\n";
+        break;
+      case KtlEvent::Kind::Gap:
+        os << "G\t" << e.ts << "\t" << e.stream << "\t" << e.dropped << "\t"
+           << e.first_seq << "\n";
         break;
     }
   }
@@ -135,6 +197,12 @@ KtlFile read_ktl(const std::string& text) {
         throw std::runtime_error("KTL: bad value row: " + line);
       }
       e.kind = KtlEvent::Kind::Value;
+    } else if (kind == "G") {
+      if (!(ls >> e.timestamp >> e.stream >> e.dropped >> e.first_seq)) {
+        throw std::runtime_error("KTL: bad gap row: " + line);
+      }
+      e.is_kernel = true;
+      e.kind = KtlEvent::Kind::Gap;
     } else {
       throw std::runtime_error("KTL: unknown record kind: " + line);
     }

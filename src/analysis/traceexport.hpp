@@ -9,9 +9,15 @@
 //   E <ts_ns> <stream> <K|U> <name>     region enter
 //   L <ts_ns> <stream> <K|U> <name>     region leave
 //   V <ts_ns> <stream> <name> <value>   atomic value event
+//   G <ts_ns> <stream> <dropped> <first_seq>   known loss: `dropped` kernel
+//                                       records (sequences from first_seq)
+//                                       overwritten before extraction; ts is
+//                                       the gap's upper time bound
 //
 // Events are globally time-sorted, so a viewer can replay the file in one
 // pass.  A reader is provided for round-trip validation and tooling.
+// Legacy (gapless) traces produce no G lines, so their exports are
+// unchanged.
 #pragma once
 
 #include <iosfwd>
@@ -23,6 +29,19 @@
 #include "tau/profiler.hpp"
 
 namespace ktau::analysis {
+
+/// Stitches a sequence of trace frames (ktaud's periodic extractions —
+/// legacy full-buffer snapshots or wire-v4 incremental drains, in
+/// extraction order) into one combined snapshot: per-pid records
+/// concatenated, typed loss records accumulated, event tables unioned by
+/// id.  For incremental frames the merge is loss-aware twice over: each
+/// frame's own gaps carry through, and a cursor discontinuity *between*
+/// frames (frame N+1's base_seq past frame N's next_seq — a reset reader
+/// or a skipped frame) is synthesized into a gap rather than silently
+/// closed over.  Legacy frames merge exactly like the hand-rolled
+/// concatenation they replace (bare dropped counts, no gaps).
+meas::TraceSnapshot merge_trace_frames(
+    const std::vector<meas::TraceSnapshot>& frames);
 
 /// One stream (process) of a trace export.
 struct TraceStream {
@@ -45,9 +64,11 @@ struct KtlEvent {
   sim::TimeNs timestamp = 0;
   std::uint32_t stream = 0;
   bool is_kernel = false;
-  enum class Kind { Enter, Leave, Value } kind = Kind::Enter;
+  enum class Kind { Enter, Leave, Value, Gap } kind = Kind::Enter;
   std::string name;
-  double value = 0;  // Kind::Value only
+  double value = 0;               // Kind::Value only
+  std::uint64_t dropped = 0;      // Kind::Gap only
+  std::uint64_t first_seq = 0;    // Kind::Gap only
 };
 
 struct KtlFile {

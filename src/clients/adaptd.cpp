@@ -10,7 +10,7 @@ Adaptd::Adaptd(kernel::Machine& m, const AdaptdConfig& cfg)
     : machine_(m),
       cfg_(cfg),
       handle_(m.proc()),
-      extractor_(handle_, /*pids=*/{}, cfg.delta) {
+      extractor_(handle_, /*pids=*/{}, cfg.delta, cfg.observe_traces) {
   prev_cpu_irqs_.assign(machine_.cpu_count(), 0);
   task_ = &machine_.spawn("adaptd");
   task_->is_daemon = true;
@@ -42,6 +42,14 @@ void Adaptd::decide_once() {
     const auto groups = analysis::group_breakdown(snap, task);
     const auto it = groups.find(meas::Group::Irq);
     if (it != groups.end()) observed_irq_sec_ += it->second;
+  }
+  if (cfg_.observe_traces) {
+    ExtractStats trace_stats;
+    extractor_.extract_trace(trace_stats);
+    observed_trace_records_ += trace_stats.records;
+    observed_trace_dropped_ += trace_stats.dropped;
+    stats.trace_bytes += trace_stats.trace_bytes;
+    stats.trace_wire_bytes += trace_stats.trace_wire_bytes;
   }
   Extractor::charge(*task_, stats, cfg_.process_per_kb);
 

@@ -30,6 +30,12 @@ struct AdaptdConfig {
   /// Cursor-carrying delta extraction (wire v3) for the per-period profile
   /// sample.  Off by default (legacy full reads).
   bool delta = false;
+  /// Also sample trace activity each period through a cursor-carrying
+  /// wire-v4 drain (non-destructive: ktaud's trace collection is not
+  /// disturbed).  The controller only counts records/loss — a cheap "is
+  /// anything bursting" signal — but the bytes go through the same stats
+  /// and charging as everything else.  Off by default.
+  bool observe_traces = false;
   /// User-space processing cost per KiB of extracted profile data, cycles.
   /// Historically adaptd charged nothing (a drift from ktaud the shared
   /// extractor now makes explicit); 0 keeps that behavior.
@@ -58,6 +64,15 @@ class Adaptd {
   /// routing decision.
   double observed_irq_sec() const { return observed_irq_sec_; }
 
+  /// Cumulative trace records / counted losses seen by the observe_traces
+  /// drains (0 when the mode is off).
+  std::uint64_t observed_trace_records() const {
+    return observed_trace_records_;
+  }
+  std::uint64_t observed_trace_dropped() const {
+    return observed_trace_dropped_;
+  }
+
  private:
   kernel::Program controller_program();
   void decide_once();
@@ -71,6 +86,8 @@ class Adaptd {
   sim::TimeNs rebalanced_at_ = 0;
   std::uint64_t decisions_ = 0;
   double observed_irq_sec_ = 0;
+  std::uint64_t observed_trace_records_ = 0;
+  std::uint64_t observed_trace_dropped_ = 0;
   std::vector<std::uint64_t> last_cpu_irqs_;
   /// Per-CPU counter baseline at the previous decision (deltas, not
   /// lifetime totals, drive the decision).

@@ -17,11 +17,22 @@ const meas::ProfileSnapshot& Extractor::extract_profile(ExtractStats& stats) {
 }
 
 meas::TraceSnapshot Extractor::extract_trace(ExtractStats& stats) {
-  meas::TraceSnapshot trace = handle_.get_trace(scope(), pids_);
+  meas::TraceSnapshot trace = trace_drains_
+                                  ? handle_.get_trace_incremental(scope(), pids_)
+                                  : handle_.get_trace(scope(), pids_);
+  stats.trace_wire_bytes += handle_.last_trace_wire_bytes();
   for (const auto& t : trace.tasks) {
     stats.records += t.records.size();
     stats.dropped += t.dropped;
-    stats.trace_bytes += t.records.size() * sizeof(meas::TraceRecord);
+    if (!trace_drains_) {
+      stats.trace_bytes += t.records.size() * sizeof(meas::TraceRecord);
+    }
+  }
+  if (trace_drains_) {
+    // Charge only what shipped: the serialized frame (records, typed loss,
+    // name-table additions, framing), not the historical padded-record
+    // formula over a re-shipped full buffer.
+    stats.trace_bytes += handle_.last_trace_wire_bytes();
   }
   return trace;
 }

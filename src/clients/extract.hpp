@@ -11,7 +11,10 @@
 //   delta profiles:   the same row formula over only the rows the delta
 //                     frame shipped — apples-to-apples with legacy, so the
 //                     saving shows up directly in the charged cost;
-//   traces:           decoded record payloads (records * sizeof(TraceRecord)).
+//   legacy traces:    decoded record payloads (records * sizeof(TraceRecord))
+//                     — the historical formula, kept bit-identical;
+//   drained traces:   the wire bytes the cursor frame actually shipped
+//                     (charge only what moved, like profile deltas).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,8 @@ struct ExtractStats {
   std::uint64_t trace_bytes = 0;    // accounted trace payload
   std::uint64_t records = 0;        // trace records pulled this period
   std::uint64_t dropped = 0;        // records lost to ring-buffer overwrite
+  std::uint64_t trace_wire_bytes = 0;  // serialized trace frame size (both
+                                       // modes; informational in legacy mode)
 
   std::uint64_t total_bytes() const { return profile_bytes + trace_bytes; }
 };
@@ -37,9 +42,14 @@ class Extractor {
  public:
   /// `pids` empty selects Scope::All, otherwise Scope::Other — the same
   /// rule both daemons applied.  `delta` switches profile extraction to
-  /// the cursor-carrying wire-v3 reads.
-  Extractor(user::KtauHandle& handle, std::vector<meas::Pid> pids, bool delta)
-      : handle_(handle), pids_(std::move(pids)), delta_(delta) {}
+  /// the cursor-carrying wire-v3 reads; `trace_drains` switches trace
+  /// extraction to the non-destructive cursor-carrying wire-v4 reads.
+  Extractor(user::KtauHandle& handle, std::vector<meas::Pid> pids, bool delta,
+            bool trace_drains = false)
+      : handle_(handle),
+        pids_(std::move(pids)),
+        delta_(delta),
+        trace_drains_(trace_drains) {}
 
   Extractor(const Extractor&) = delete;
   Extractor& operator=(const Extractor&) = delete;
@@ -48,6 +58,7 @@ class Extractor {
     return pids_.empty() ? meas::Scope::All : meas::Scope::Other;
   }
   bool delta() const { return delta_; }
+  bool trace_drains() const { return trace_drains_; }
 
   /// Profile extraction through the shared retry path.  The returned
   /// reference is the handle's reassembled cursor cache in delta mode, or
@@ -56,8 +67,12 @@ class Extractor {
   /// period's accounted profile bytes to `stats`.
   const meas::ProfileSnapshot& extract_profile(ExtractStats& stats);
 
-  /// Destructive trace drain (always incremental: the kernel ring buffers
-  /// empty on read).  Adds record/byte accounting to `stats`.
+  /// Trace extraction.  Legacy mode is the destructive full-buffer drain
+  /// (ring buffers empty on read); drains mode is the non-destructive
+  /// cursor read, returning only records appended since the previous call
+  /// plus typed loss.  Adds record/byte accounting to `stats` (legacy
+  /// charges the historical padded-record formula; drains charges the wire
+  /// bytes actually shipped).
   meas::TraceSnapshot extract_trace(ExtractStats& stats);
 
   /// Charges the period's user-space processing cost — per_kb cycles per
@@ -70,6 +85,7 @@ class Extractor {
   user::KtauHandle& handle_;
   std::vector<meas::Pid> pids_;
   bool delta_ = false;
+  bool trace_drains_ = false;
   meas::ProfileSnapshot last_full_;
 };
 

@@ -32,6 +32,12 @@ struct KtaudConfig {
   /// processing cost — and hence its perturbation of the system — drops
   /// with the extracted byte count.  Off by default (legacy full reads).
   bool delta = false;
+  /// Cursor-carrying trace drains (wire v4): each period pulls only trace
+  /// records appended since the previous one — with typed loss records for
+  /// anything the rings overwrote — instead of re-reading full buffers.
+  /// The archived snapshots become per-period *frames*; merge them with
+  /// analysis::merge_trace_frames.  Off by default (legacy full reads).
+  bool trace_drains = false;
   /// Keep per-period snapshot archives in memory (tests read them).  The
   /// many-task scale bench turns this off, as a real daemon streaming to
   /// disk would.
@@ -64,6 +70,14 @@ class Ktaud {
   std::uint64_t last_extract_bytes() const { return last_extract_bytes_; }
   std::uint64_t total_extract_bytes() const { return total_extract_bytes_; }
 
+  /// Serialized trace frame bytes moved by the most recent period and in
+  /// total — the wire traffic the drains mode exists to shrink (filled in
+  /// both modes, so the two are directly comparable).
+  std::uint64_t last_trace_wire_bytes() const { return last_trace_wire_bytes_; }
+  std::uint64_t total_trace_wire_bytes() const {
+    return total_trace_wire_bytes_;
+  }
+
   kernel::Task& task() { return *task_; }
 
  private:
@@ -83,6 +97,8 @@ class Ktaud {
   std::uint64_t extractions_ = 0;
   std::uint64_t last_extract_bytes_ = 0;
   std::uint64_t total_extract_bytes_ = 0;
+  std::uint64_t last_trace_wire_bytes_ = 0;
+  std::uint64_t total_trace_wire_bytes_ = 0;
 };
 
 }  // namespace ktau::clients

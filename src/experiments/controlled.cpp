@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/traceexport.hpp"
 #include "apps/daemons.hpp"
 #include "apps/lu.hpp"
 #include "clients/ktaud.hpp"
@@ -237,17 +238,8 @@ TraceDemoResult run_trace_demo(std::uint64_t seed) {
 
   // Stitch ktaud's periodic extractions into one trace for rank 0.
   const meas::Pid pid = world.task(0).pid;
-  meas::TraceSnapshot combined;
-  combined.tasks.emplace_back();
-  combined.tasks[0].pid = pid;
-  for (const auto& snap : ktaud.traces()) {
-    if (combined.events.empty()) combined.events = snap.events;
-    for (const auto& t : snap.tasks) {
-      if (t.pid != pid) continue;
-      combined.tasks[0].records.insert(combined.tasks[0].records.end(),
-                                       t.records.begin(), t.records.end());
-    }
-  }
+  const meas::TraceSnapshot combined =
+      analysis::merge_trace_frames(ktaud.traces());
 
   TraceDemoResult result;
   result.ktaud_extractions = ktaud.extractions();

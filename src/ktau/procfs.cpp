@@ -94,6 +94,42 @@ std::vector<std::byte> ProcKtau::trace_read(Scope scope,
   return encode_trace(sys_.registry(), now_(), cpu_freq_, inputs);
 }
 
+std::vector<std::byte> ProcKtau::trace_read(Scope scope,
+                                            std::span<const Pid> pids,
+                                            const TraceCursor& cursor) const {
+  const auto selected = select(scope, pids, /*include_reaped=*/false);
+  std::vector<TaskTraceInput> inputs;
+  // Read record storage must outlive encode_trace_incremental.
+  std::vector<std::vector<TraceRecord>> storage;
+  storage.reserve(selected.size());
+  inputs.reserve(selected.size());
+  for (const TaskSnapshotInput& view : selected) {
+    TaskProfile* prof = tasks_.find_profile(view.pid);
+    if (prof == nullptr || prof->trace() == nullptr) continue;
+    const std::uint64_t base = cursor.seq(view.pid);
+    std::vector<TraceRecord> recs;
+    const TraceDrain d = prof->trace()->read_from(base, recs);
+    // Skip clean tasks the reader already knows — that is where the
+    // steady-state byte saving comes from.  A never-seen task ships even
+    // when empty so the reader learns its cursor (and its name).
+    if (recs.empty() && d.loss.dropped == 0 && cursor.known(view.pid)) {
+      continue;
+    }
+    storage.push_back(std::move(recs));
+    TaskTraceInput in;
+    in.pid = view.pid;
+    in.name = view.name;
+    in.dropped = d.loss.dropped;
+    in.records = &storage.back();
+    in.base_seq = base;
+    in.next_seq = d.next_seq;
+    in.first_lost_seq = d.loss.first_seq;
+    inputs.push_back(in);
+  }
+  return encode_trace_incremental(sys_.registry(), now_(), cpu_freq_, inputs,
+                                  cursor.names);
+}
+
 OverheadReport ProcKtau::ctl_overhead() const {
   OverheadReport rep;
   const sim::OnlineStats& start = sys_.start_overhead();

@@ -107,6 +107,20 @@ class ProcKtau {
   /// entry read by ktaud.
   std::vector<std::byte> trace_read(Scope scope, std::span<const Pid> pids = {});
 
+  // -- cursor-carrying trace reads (wire version 4) -------------------------
+  //
+  // Same session-less discipline as the profile delta reads, applied to the
+  // trace rings: the client presents the per-task sequence cursor from its
+  // previous read and receives only records with sequence >= cursor (plus
+  // name-table additions from cursor.names on).  The read is
+  // *non-destructive* — ring buffers are not consumed, so any number of
+  // readers with independent cursors coexist, and the legacy destructive
+  // drain above keeps working unchanged alongside them.  A task is shipped
+  // only when it has new records, counted loss, or the cursor has never
+  // seen it (so its zero cursor decodes to today's full-buffer read).
+  std::vector<std::byte> trace_read(Scope scope, std::span<const Pid> pids,
+                                    const TraceCursor& cursor) const;
+
   // -- control (ioctl-style) -------------------------------------------------
 
   /// Runtime instrumentation control (paper §3: "dynamic measurement

@@ -11,6 +11,7 @@ constexpr std::uint32_t kProfileMagic = 0x4B544155;  // "KTAU"
 constexpr std::uint32_t kTraceMagic = 0x4B545243;    // "KTRC"
 constexpr std::uint32_t kVersionFull = 2;   // v2 added call-path edge rows
 constexpr std::uint32_t kVersionDelta = 3;  // v3 added cursor-carrying deltas
+constexpr std::uint32_t kVersionTraceCursor = 4;  // v4: cursor trace frames
 
 class ByteWriter {
  public:
@@ -90,6 +91,8 @@ constexpr std::size_t kMinEventRowBytes = 4 + 8 + 8 + 8;
 constexpr std::size_t kMinAtomicRowBytes = 4 + 8 + 8 + 8 + 8;
 constexpr std::size_t kMinKeyedRowBytes = 8 + 8 + 8 + 8;       // bridge/edge
 constexpr std::size_t kMinTraceTaskBytes = 4 + 4 + 8 + 4;      // pid+len+drop+n
+// v4 adds base_seq + next_seq + first_lost_seq to the per-task header.
+constexpr std::size_t kMinTraceTaskV4Bytes = kMinTraceTaskBytes + 8 + 8 + 8;
 constexpr std::size_t kMinTraceRecBytes = 8 + 4 + 1 + 8;
 
 void encode_event_table(ByteWriter& w, const EventRegistry& registry,
@@ -326,6 +329,33 @@ ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes) {
   return snap;
 }
 
+namespace {
+
+void encode_trace_records(ByteWriter& w, const std::vector<TraceRecord>& recs) {
+  w.u32(static_cast<std::uint32_t>(recs.size()));
+  for (const TraceRecord& rec : recs) {
+    w.u64(rec.timestamp);
+    w.u32(rec.event);
+    w.u8(static_cast<std::uint8_t>(rec.type));
+    w.u64(rec.value);
+  }
+}
+
+void decode_trace_records(ByteReader& r, TaskTraceData& t) {
+  const std::uint32_t nrec = r.count(kMinTraceRecBytes);
+  t.records.reserve(nrec);
+  for (std::uint32_t j = 0; j < nrec; ++j) {
+    TraceRecord rec;
+    rec.timestamp = r.u64();
+    rec.event = r.u32();
+    rec.type = static_cast<TraceType>(r.u8());
+    rec.value = r.u64();
+    t.records.push_back(rec);
+  }
+}
+
+}  // namespace
+
 std::vector<std::byte> encode_trace(const EventRegistry& registry,
                                     sim::TimeNs timestamp, sim::FreqHz cpu_freq,
                                     const std::vector<TaskTraceInput>& tasks) {
@@ -340,14 +370,34 @@ std::vector<std::byte> encode_trace(const EventRegistry& registry,
     w.u32(t.pid);
     w.str(t.name != nullptr ? *t.name : std::string_view{});
     w.u64(t.dropped);
-    const auto& recs = *t.records;
-    w.u32(static_cast<std::uint32_t>(recs.size()));
-    for (const TraceRecord& rec : recs) {
-      w.u64(rec.timestamp);
-      w.u32(rec.event);
-      w.u8(static_cast<std::uint8_t>(rec.type));
-      w.u64(rec.value);
-    }
+    encode_trace_records(w, *t.records);
+  }
+  return w.take();
+}
+
+std::vector<std::byte> encode_trace_incremental(
+    const EventRegistry& registry, sim::TimeNs timestamp, sim::FreqHz cpu_freq,
+    const std::vector<TaskTraceInput>& tasks, std::uint32_t name_base) {
+  ByteWriter w;
+  w.u32(kTraceMagic);
+  w.u32(kVersionTraceCursor);
+  w.u64(timestamp);
+  w.u64(cpu_freq);
+  // Clamp defensively: a cursor from a different kernel could claim more
+  // names than this registry holds.
+  const auto base = static_cast<EventId>(
+      std::min<std::size_t>(name_base, registry.size()));
+  w.u32(base);
+  encode_event_table(w, registry, base);
+  w.u32(static_cast<std::uint32_t>(tasks.size()));
+  for (const TaskTraceInput& t : tasks) {
+    w.u32(t.pid);
+    w.str(t.name != nullptr ? *t.name : std::string_view{});
+    w.u64(t.base_seq);
+    w.u64(t.next_seq);
+    w.u64(t.dropped);
+    w.u64(t.first_lost_seq);
+    encode_trace_records(w, *t.records);
   }
   return w.take();
 }
@@ -357,33 +407,60 @@ TraceSnapshot decode_trace(const std::vector<std::byte>& bytes) {
   if (r.u32() != kTraceMagic) {
     throw SnapshotError("KTAU trace snapshot: bad magic");
   }
-  if (r.u32() != kVersionFull) {
+  const std::uint32_t version = r.u32();
+  if (version != kVersionFull && version != kVersionTraceCursor) {
     throw SnapshotError("KTAU trace snapshot: unsupported version");
   }
   TraceSnapshot snap;
   snap.timestamp = r.u64();
   snap.cpu_freq = r.u64();
+  if (version == kVersionTraceCursor) {
+    snap.incremental = true;
+    snap.name_base = r.u32();
+  }
   snap.events = decode_event_table(r);
-  const std::uint32_t ntasks = r.count(kMinTraceTaskBytes);
+  const std::uint32_t ntasks = r.count(
+      version == kVersionTraceCursor ? kMinTraceTaskV4Bytes
+                                     : kMinTraceTaskBytes);
   snap.tasks.reserve(ntasks);
   for (std::uint32_t i = 0; i < ntasks; ++i) {
     TaskTraceData t;
     t.pid = r.u32();
     t.name = r.str();
-    t.dropped = r.u64();
-    const std::uint32_t nrec = r.count(kMinTraceRecBytes);
-    t.records.reserve(nrec);
-    for (std::uint32_t j = 0; j < nrec; ++j) {
-      TraceRecord rec;
-      rec.timestamp = r.u64();
-      rec.event = r.u32();
-      rec.type = static_cast<TraceType>(r.u8());
-      rec.value = r.u64();
-      t.records.push_back(rec);
+    if (version == kVersionTraceCursor) {
+      t.base_seq = r.u64();
+      t.next_seq = r.u64();
+      t.dropped = r.u64();
+      const std::uint64_t first_lost = r.u64();
+      decode_trace_records(r, t);
+      if (t.dropped > 0) {
+        // The hole sits entirely before the first surviving record (ring
+        // overwrite is strictly oldest-first); without survivors the frame
+        // timestamp bounds it.
+        t.gaps.push_back(TraceGap{
+            t.records.empty() ? snap.timestamp : t.records.front().timestamp,
+            t.dropped, first_lost});
+      }
+    } else {
+      t.dropped = r.u64();
+      decode_trace_records(r, t);
     }
     snap.tasks.push_back(std::move(t));
   }
   return snap;
+}
+
+void TraceCursor::advance(const TraceSnapshot& frame) {
+  for (const TaskTraceData& t : frame.tasks) {
+    seqs[t.pid] = t.next_seq;
+  }
+  if (frame.incremental) {
+    const std::uint32_t held =
+        frame.name_base + static_cast<std::uint32_t>(frame.events.size());
+    if (held > names) names = held;
+  } else {
+    names = static_cast<std::uint32_t>(frame.events.size());
+  }
 }
 
 void ProfileAccumulator::reset() {

@@ -149,12 +149,33 @@ std::unordered_map<EventId, double> fold_kernel_within(
   return out;
 }
 
+/// A known hole in a trace record stream: `dropped` records with sequence
+/// numbers [first_seq, first_seq + dropped) were overwritten in the ring
+/// before a reader reached them.  `before` is the timestamp upper bound —
+/// every lost record happened at or before it (the first surviving record's
+/// stamp, or the frame timestamp when nothing survived) — which is what lets
+/// merged timelines place the gap instead of silently closing over it.
+struct TraceGap {
+  sim::TimeNs before = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t first_seq = 0;
+
+  bool operator==(const TraceGap&) const = default;
+};
+
 /// One process's decoded trace.
 struct TaskTraceData {
   Pid pid = 0;
   std::string name;
   std::uint64_t dropped = 0;  // records lost to ring-buffer overwrite
   std::vector<TraceRecord> records;
+
+  // Cursor framing (wire version 4).  Legacy v2 frames decode with zeros
+  // here and an empty gap list (their loss is a bare count).
+  std::uint64_t base_seq = 0;  // cursor this frame was read against
+  std::uint64_t next_seq = 0;  // cursor to present on the next read
+  std::vector<TraceGap> gaps;  // typed loss records (one per v4 frame hole;
+                               // accumulated by analysis trace merging)
 };
 
 struct TraceSnapshot {
@@ -163,7 +184,36 @@ struct TraceSnapshot {
   std::vector<EventDesc> events;
   std::vector<TaskTraceData> tasks;
 
+  // Cursor framing (wire version 4).  Legacy v2 full-buffer frames decode
+  // with incremental == false and name_base == 0.
+  bool incremental = false;
+  std::uint32_t name_base = 0;  // registry id of events[0] in a v4 frame
+
   std::string_view event_name(EventId id) const;
+};
+
+/// Client-held position in a kernel's trace streams (the proc protocol
+/// stays session-less: the *reader* keeps one sequence cursor per traced
+/// task plus its name-table count, and presents them on each read; the
+/// kernel stores nothing per client and the ring buffers are not consumed).
+struct TraceCursor {
+  /// Number of name-table entries already held; the kernel ships only
+  /// entries [names, registry size).
+  std::uint32_t names = 0;
+  /// Per-task read positions: next sequence number this reader wants.
+  /// A task absent here has never been seen (cursor 0: read everything
+  /// retained, i.e. today's full-buffer semantics).
+  std::unordered_map<Pid, std::uint64_t> seqs;
+
+  std::uint64_t seq(Pid pid) const {
+    const auto it = seqs.find(pid);
+    return it == seqs.end() ? 0 : it->second;
+  }
+  bool known(Pid pid) const { return seqs.contains(pid); }
+
+  /// Folds a decoded v4 frame into the cursor: per-task next_seq upserts
+  /// and the name-table high-water mark.
+  void advance(const TraceSnapshot& frame);
 };
 
 // -- encoding (kernel side) -------------------------------------------------
@@ -200,11 +250,27 @@ struct TaskTraceInput {
   const std::string* name = nullptr;
   std::uint64_t dropped = 0;
   const std::vector<TraceRecord>* records = nullptr;
+  // v4 cursor framing; ignored by the legacy (v2) encoder.
+  std::uint64_t base_seq = 0;
+  std::uint64_t next_seq = 0;
+  std::uint64_t first_lost_seq = 0;  // meaningful iff dropped > 0
 };
 
 std::vector<std::byte> encode_trace(const EventRegistry& registry,
                                     sim::TimeNs timestamp, sim::FreqHz cpu_freq,
                                     const std::vector<TaskTraceInput>& tasks);
+
+/// Serializes a cursor-carrying trace frame (wire version 4): only
+/// name-table entries from `name_base` on, and (by the caller's selection)
+/// only tasks with new records or counted loss.  Records are consecutive —
+/// sequences [next_seq - records.size(), next_seq) — so they carry no
+/// per-record sequence field; loss is the typed {dropped, first_lost_seq}
+/// pair per task.  With a zero cursor the caller passes every traced task
+/// and name_base 0, and the frame decodes to the same records/loss a legacy
+/// v2 full-buffer read of a never-drained system yields.
+std::vector<std::byte> encode_trace_incremental(
+    const EventRegistry& registry, sim::TimeNs timestamp, sim::FreqHz cpu_freq,
+    const std::vector<TaskTraceInput>& tasks, std::uint32_t name_base);
 
 // -- decoding (user side, used by libKtau) ----------------------------------
 
@@ -214,8 +280,10 @@ std::vector<std::byte> encode_trace(const EventRegistry& registry,
 /// cannot trigger huge reserves.
 ProfileSnapshot decode_profile(const std::vector<std::byte>& bytes);
 
-/// Parses a trace snapshot.  Throws SnapshotError on malformed input (same
-/// allocation guarantees as decode_profile).
+/// Parses a trace snapshot, full (wire version 2) or cursor-carrying
+/// incremental (version 4).  Throws SnapshotError on malformed input (same
+/// allocation guarantees as decode_profile).  v4 loss counts become typed
+/// TraceGap entries on the affected tasks.
 TraceSnapshot decode_trace(const std::vector<std::byte>& bytes);
 
 /// Client-side reassembly of full profile state from a stream of full and

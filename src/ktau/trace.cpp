@@ -1,5 +1,6 @@
 #include "ktau/trace.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ktau::meas {
@@ -11,28 +12,32 @@ TraceBuffer::TraceBuffer(std::size_t capacity) : ring_(capacity) {
 }
 
 void TraceBuffer::push(const TraceRecord& rec) {
-  ++pushed_;
-  if (count_ == ring_.size()) {
-    // Full: overwrite the oldest unread record.
-    ring_[head_] = rec;
-    head_ = (head_ + 1) % ring_.size();
-    ++dropped_;
-    return;
+  ring_[static_cast<std::size_t>(next_seq_ % ring_.size())] = rec;
+  ++next_seq_;
+}
+
+TraceDrain TraceBuffer::read_from(std::uint64_t cursor,
+                                  std::vector<TraceRecord>& out) const {
+  TraceDrain d;
+  d.next_seq = next_seq_;
+  // A cursor from "the future" (stale client of a reset kernel) clamps to
+  // the end: nothing to deliver, no loss invented.
+  const std::uint64_t base = std::min(read_base(cursor), next_seq_);
+  if (base > cursor) {
+    d.loss.dropped = base - cursor;
+    d.loss.first_seq = cursor;
   }
-  ring_[(head_ + count_) % ring_.size()] = rec;
-  ++count_;
+  out.reserve(out.size() + static_cast<std::size_t>(next_seq_ - base));
+  for (std::uint64_t seq = base; seq < next_seq_; ++seq) {
+    out.push_back(ring_[static_cast<std::size_t>(seq % ring_.size())]);
+  }
+  return d;
 }
 
 std::uint64_t TraceBuffer::drain(std::vector<TraceRecord>& out) {
-  out.reserve(out.size() + count_);
-  for (std::size_t i = 0; i < count_; ++i) {
-    out.push_back(ring_[(head_ + i) % ring_.size()]);
-  }
-  head_ = 0;
-  count_ = 0;
-  const std::uint64_t lost = dropped_;
-  dropped_ = 0;
-  return lost;
+  const TraceDrain d = read_from(drain_cursor_, out);
+  drain_cursor_ = d.next_seq;
+  return d.loss.dropped;
 }
 
 }  // namespace ktau::meas

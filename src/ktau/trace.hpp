@@ -3,8 +3,19 @@
 // When tracing is enabled, each process owns a fixed-size circular buffer of
 // trace records.  The buffer is deliberately lossy: "trace data may be lost
 // if the buffer is not read fast enough by user-space applications or
-// daemons".  New records overwrite the oldest unread records; the number of
-// dropped records is tracked so clients (ktaud) can report loss.
+// daemons".  New records overwrite the oldest retained records; every record
+// carries a monotonic per-buffer sequence number, so loss is *counted*, not
+// silent: a reader that falls behind learns exactly how many records it
+// missed and where the gap sits in the event stream (the LTTng consumer
+// protocol's explicit loss events — see DESIGN.md §10).
+//
+// Two read disciplines coexist:
+//   - the legacy destructive drain() (the v2 full-buffer proc read), which
+//     consumes everything unread since the previous drain;
+//   - non-destructive cursor reads (read_from), where each reader holds its
+//     own sequence cursor client-side and the buffer keeps no per-reader
+//     state.  Multiple readers with independent cursors each see every
+//     retained record.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +37,25 @@ struct TraceRecord {
   EventId event = kNoEventId;
   TraceType type = TraceType::Entry;
   std::uint64_t value = 0;  // atomic-event payload (e.g. packet size)
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+/// Typed loss report for one read: `dropped` records with sequence numbers
+/// [first_seq, first_seq + dropped) were overwritten before the reader's
+/// cursor reached them.  dropped == 0 means a gapless read.
+struct TraceLoss {
+  std::uint64_t dropped = 0;
+  std::uint64_t first_seq = 0;
+
+  bool operator==(const TraceLoss&) const = default;
+};
+
+/// Result of one cursor read: the records themselves go to the caller's
+/// vector; this carries the cursor to present next plus the loss report.
+struct TraceDrain {
+  std::uint64_t next_seq = 0;  // cursor for the reader's next read
+  TraceLoss loss;
 };
 
 class TraceBuffer {
@@ -34,25 +64,53 @@ class TraceBuffer {
   /// rejected (a traced process always has a real buffer).
   explicit TraceBuffer(std::size_t capacity);
 
-  /// Appends a record, overwriting the oldest unread record when full.
+  /// Appends a record with sequence number next_seq(), overwriting the
+  /// oldest retained record when full.
   void push(const TraceRecord& rec);
 
-  /// Moves all unread records (oldest first) into `out` and clears the
-  /// buffer.  Returns the number of records that were dropped since the
-  /// previous drain (and resets that counter).
+  /// Non-destructive cursor read: appends all retained records with
+  /// sequence >= `cursor` (oldest first) to `out` and reports the records
+  /// in [cursor, oldest_seq()) — already overwritten — as a typed loss.
+  /// The buffer keeps no reader state; the caller owns the cursor and
+  /// should present the returned next_seq on its next read.
+  TraceDrain read_from(std::uint64_t cursor,
+                       std::vector<TraceRecord>& out) const;
+
+  /// Legacy destructive read: moves all records unread *by this buffer's
+  /// internal drain cursor* (oldest first) into `out` and returns the
+  /// number of records that were dropped since the previous drain.  This
+  /// is read_from() over a buffer-owned cursor — cursor readers and the
+  /// drain reader do not disturb each other.
   std::uint64_t drain(std::vector<TraceRecord>& out);
 
   std::size_t capacity() const { return ring_.size(); }
-  std::size_t unread() const { return count_; }
-  std::uint64_t total_pushed() const { return pushed_; }
-  std::uint64_t dropped_since_drain() const { return dropped_; }
+  /// Records the legacy drain cursor has not yet consumed.
+  std::size_t unread() const {
+    return static_cast<std::size_t>(next_seq_ - read_base(drain_cursor_));
+  }
+  std::uint64_t total_pushed() const { return next_seq_; }
+  std::uint64_t dropped_since_drain() const {
+    const std::uint64_t oldest = oldest_seq();
+    return oldest > drain_cursor_ ? oldest - drain_cursor_ : 0;
+  }
+
+  /// Sequence number the next pushed record will get (== total_pushed()).
+  std::uint64_t next_seq() const { return next_seq_; }
+  /// Sequence number of the oldest record still retained in the ring.
+  std::uint64_t oldest_seq() const {
+    return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
+  }
 
  private:
+  /// First sequence a read from `cursor` can actually deliver.
+  std::uint64_t read_base(std::uint64_t cursor) const {
+    const std::uint64_t oldest = oldest_seq();
+    return cursor > oldest ? cursor : oldest;
+  }
+
   std::vector<TraceRecord> ring_;
-  std::size_t head_ = 0;   // index of oldest unread record
-  std::size_t count_ = 0;  // number of unread records
-  std::uint64_t pushed_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint64_t next_seq_ = 0;      // total records ever pushed
+  std::uint64_t drain_cursor_ = 0;  // position of the legacy drain reader
 };
 
 }  // namespace ktau::meas

@@ -54,7 +54,22 @@ const meas::ProfileSnapshot& KtauHandle::get_profile_delta(
 
 meas::TraceSnapshot KtauHandle::get_trace(meas::Scope scope,
                                           std::span<const meas::Pid> pids) {
-  return meas::decode_trace(proc_.trace_read(scope, pids));
+  const std::vector<std::byte> bytes = proc_.trace_read(scope, pids);
+  last_trace_wire_bytes_ = bytes.size();
+  return meas::decode_trace(bytes);
+}
+
+meas::TraceSnapshot KtauHandle::get_trace_incremental(
+    meas::Scope scope, std::span<const meas::Pid> pids) {
+  // Single-call protocol like get_trace: the kernel serializes whatever the
+  // rings hold past the presented cursor; there is no size/retry dance
+  // because the read allocates its own buffer.
+  const std::vector<std::byte> bytes =
+      proc_.trace_read(scope, pids, trace_cursor_);
+  last_trace_wire_bytes_ = bytes.size();
+  meas::TraceSnapshot frame = meas::decode_trace(bytes);
+  trace_cursor_.advance(frame);
+  return frame;
 }
 
 // ---------------------------------------------------------------------------

@@ -42,6 +42,17 @@ class KtauHandle {
   meas::TraceSnapshot get_trace(meas::Scope scope,
                                 std::span<const meas::Pid> pids = {});
 
+  /// Cursor-carrying trace read (wire version 4): presents the handle's
+  /// per-task sequence cursor so the kernel ships only records appended
+  /// since the previous call (plus name-table additions), then folds the
+  /// frame into the cursor.  Returns the *frame* — new records and typed
+  /// loss only, not cumulative state; callers accumulate (or stream) frames
+  /// themselves, e.g. via analysis::merge_trace_frames.  The first call
+  /// reads everything retained.  A handle's cursor tracks one
+  /// (scope, pids) stream — use separate handles for separate streams.
+  meas::TraceSnapshot get_trace_incremental(
+      meas::Scope scope, std::span<const meas::Pid> pids = {});
+
   // -- delta retrieval (wire version 3) -------------------------------------
 
   /// Cursor-carrying read: runs the same size/read retry loop, but presents
@@ -71,6 +82,19 @@ class KtauHandle {
   /// Drops the cache; the next delta read becomes a full read.
   void reset_profile_cache() { cache_.reset(); }
 
+  /// Wire bytes moved by the most recent get_trace/get_trace_incremental —
+  /// the charge-only-what-shipped basis for daemon trace extraction.
+  std::uint64_t last_trace_wire_bytes() const {
+    return last_trace_wire_bytes_;
+  }
+
+  /// The per-task sequence cursor behind get_trace_incremental.
+  const meas::TraceCursor& trace_cursor() const { return trace_cursor_; }
+
+  /// Drops the trace cursor; the next incremental read reads everything
+  /// the rings still retain.
+  void reset_trace_cursor() { trace_cursor_ = meas::TraceCursor{}; }
+
   // -- kernel control -----------------------------------------------------------
 
   void set_groups(meas::GroupMask mask) { proc_.ctl_set_groups(mask); }
@@ -80,8 +104,10 @@ class KtauHandle {
  private:
   meas::ProcKtau& proc_;
   meas::ProfileAccumulator cache_;
+  meas::TraceCursor trace_cursor_;
   std::uint64_t last_profile_wire_bytes_ = 0;
   std::uint64_t last_profile_row_bytes_ = 0;
+  std::uint64_t last_trace_wire_bytes_ = 0;
 };
 
 // -- ASCII conversion (paper: "data conversion (ASCII to/from binary)") ------
