@@ -13,6 +13,18 @@ namespace ktau::expt {
 
 namespace {
 
+int g_default_sim_threads = 1;
+
+}  // namespace
+
+void set_default_sim_threads(int threads) {
+  g_default_sim_threads = threads > 0 ? threads : 1;
+}
+
+int default_sim_threads() { return g_default_sim_threads; }
+
+namespace {
+
 struct Topology {
   int nodes = 0;
   int per_node = 1;
@@ -123,7 +135,26 @@ BuiltRun build(const ChibaRunConfig& cfg) {
                                 "configuration");
   }
 
-  run.cluster = std::make_unique<kernel::Cluster>();
+  // Network config is needed up front: its link latency is the conservative
+  // lookahead the cluster's shard plan is built on.
+  knet::NetConfig net;
+  net.seed = cfg.seed * 777767ULL + 13;
+  if (cfg.tcp_cache_penalty_override) {
+    net.tcp_rcv_cache_penalty = *cfg.tcp_cache_penalty_override;
+  }
+
+  // Chiba runs always use the epoched scheduler — even at one thread — so
+  // the committed event order (and hence every output byte) is the same for
+  // any --sim-threads value; the thread count only partitions the work.
+  const int resolved =
+      cfg.sim_threads > 0 ? cfg.sim_threads : default_sim_threads();
+  const unsigned shards = static_cast<unsigned>(
+      std::clamp(resolved, 1, topo.nodes));
+  run.cluster = std::make_unique<kernel::Cluster>(
+      kernel::ShardPlan{shards, net.latency});
+  // Pre-size each shard's event pools and the cross-shard mailboxes so the
+  // steady-state hot path performs no vector growth.
+  run.cluster->reserve_events(16384, 1024);
   const kernel::NodeId anomaly = anomaly_node_for(topo.nodes);
   if (cfg.faults.any()) {
     run.faults = std::make_unique<sim::FaultPlan>(
@@ -156,11 +187,6 @@ BuiltRun build(const ChibaRunConfig& cfg) {
     run.cluster->add_machine(mc);
   }
 
-  knet::NetConfig net;
-  net.seed = cfg.seed * 777767ULL + 13;
-  if (cfg.tcp_cache_penalty_override) {
-    net.tcp_rcv_cache_penalty = *cfg.tcp_cache_penalty_override;
-  }
   run.fabric = std::make_unique<knet::Fabric>(*run.cluster, net,
                                               run.faults.get());
 
@@ -327,7 +353,7 @@ ChibaRunResult run_chiba(const ChibaRunConfig& cfg) {
   result.cfg = cfg;
   result.exec_sec =
       static_cast<double>(world.job_completion()) / sim::kSecond;
-  result.engine_events = cluster.engine().executed();
+  result.engine_events = cluster.executed_total();
 
   // Harvest per-node snapshots through the real extraction path.
   const Topology& topo = run.topo;

@@ -56,6 +56,13 @@ enum class PerturbMode {
 
 std::string perturb_name(PerturbMode m);
 
+/// Process-wide default for ChibaRunConfig::sim_threads (what the
+/// `--sim-threads` CLI flag sets, before any scenarios run).  Simulation
+/// output is byte-identical for every value — the knob only chooses how
+/// many worker threads the conservative parallel scheduler uses.
+void set_default_sim_threads(int threads);
+int default_sim_threads();
+
 struct ChibaRunConfig {
   ChibaConfig config = ChibaConfig::C128x1;
   Workload workload = Workload::LU;
@@ -63,6 +70,10 @@ struct ChibaRunConfig {
   int ranks = 128;
   std::uint64_t seed = 7;
   bool daemons = true;
+  /// Event-queue shards / worker threads for the run (0 = the process
+  /// default, see set_default_sim_threads).  Any value produces
+  /// bit-identical results; clamped to the node count.
+  int sim_threads = 0;
   /// Scales iteration counts (and hence run length / cost) relative to the
   /// paper-scale workload definitions.  1.0 reproduces ~300-500 s runs.
   double scale = 1.0;

@@ -257,6 +257,12 @@ bool parse_matrix_args(int argc, char** argv, MatrixOptions& opt,
         if (error.empty()) error = "--jobs expects a positive integer";
         return false;
       }
+    } else if (arg == "--sim-threads") {
+      const char* v = next_value("--sim-threads");
+      if (v == nullptr || !parse_positive_int(v, opt.sim_threads)) {
+        if (error.empty()) error = "--sim-threads expects a positive integer";
+        return false;
+      }
     } else if (arg == "--seed") {
       const char* v = next_value("--seed");
       if (v == nullptr) return false;
@@ -302,6 +308,11 @@ void list_scenarios(std::ostream& out) {
 
 int run_matrix(const MatrixOptions& opt, std::ostream& out,
                std::ostream& info) {
+  // Install the simulation-thread default before any trial closure runs so
+  // every ChibaRunConfig built by the scenarios inherits it.  Set once, up
+  // front, from the single-threaded caller.
+  set_default_sim_threads(opt.sim_threads);
+
   // ---- select + decompose -------------------------------------------------
   std::vector<Unit> units;
   for (const ScenarioSpec* spec : scenarios()) {
@@ -312,6 +323,7 @@ int run_matrix(const MatrixOptions& opt, std::ostream& out,
       u.params.scale = opt.scale > 0 ? opt.scale : spec->default_scale;
       u.params.repeat = repeat;
       u.params.salt = salt_for(opt.seed_set, opt.seed, repeat);
+      u.params.sim_threads = opt.sim_threads;
       u.trials = spec->trials(u.params);
       u.results.resize(u.trials.size());
       u.errors.resize(u.trials.size());
@@ -437,6 +449,10 @@ int harness_main(int argc, char** argv, const char* default_filter) {
         "                (default 1; repeat 0 keeps historical seeds)\n"
         "  --jobs N      worker threads for trial execution (default 1;\n"
         "                output is byte-identical for any N)\n"
+        "  --sim-threads N\n"
+        "                worker threads *inside* each simulation (the\n"
+        "                conservative parallel scheduler's shard count;\n"
+        "                default 1; output is byte-identical for any N)\n"
         "  --seed S      base seed override (decorrelates all trials)\n"
         "  --json PATH   write the machine-readable result document\n"
         "  --filter A,B  run only scenarios matching a name/substring\n"

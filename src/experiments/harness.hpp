@@ -49,6 +49,10 @@ struct ScenarioParams {
   /// of a run without `--seed` reproduces each scenario's long-standing
   /// numbers exactly.  Any other value decorrelates the trial seeds.
   std::uint64_t salt = 0;
+  /// Simulation worker threads per trial (`--sim-threads`; conservative
+  /// parallel scheduler shard count).  Byte-identity contract: output is
+  /// identical for every value.
+  int sim_threads = 1;
 
   /// Derives the seed a trial should use from the seed it historically
   /// used.  Pure function of (salt, historical) — documented in DESIGN.md
@@ -159,6 +163,7 @@ struct MatrixOptions {
   double scale = 0;                 // 0 = per-scenario default
   int trials = 1;                   // repetitions per scenario
   int jobs = 1;                     // worker threads for trial execution
+  int sim_threads = 1;              // event-queue shards inside each trial
   std::uint64_t seed = 0;           // user seed; meaningful iff seed_set
   bool seed_set = false;
   std::string json_path;            // empty = no JSON emission

@@ -4,7 +4,10 @@ namespace ktau::kernel {
 
 Machine& Cluster::add_machine(const MachineConfig& cfg) {
   const auto id = static_cast<NodeId>(machines_.size());
-  machines_.push_back(std::make_unique<Machine>(engine_, id, cfg));
+  // Round-robin placement: a machine's entire timeline (CPU spans, timers,
+  // interrupts, local softirqs) lives on one shard's queue.
+  machines_.push_back(
+      std::make_unique<Machine>(sharded_.shard(shard_of(id)), id, cfg));
   return *machines_.back();
 }
 

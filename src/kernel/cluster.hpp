@@ -3,6 +3,14 @@
 // Experiments construct a Cluster, add Machines (one per physical node of
 // the testbed being modelled), wire a network fabric over them (src/knet),
 // spawn workloads, and run the engine.
+//
+// A Cluster built with a ShardPlan partitions its nodes round-robin across
+// S per-shard event queues and runs them with the conservative parallel
+// scheduler (sim::ShardedEngine, DESIGN.md §11).  The lookahead is the
+// fabric's one-way link latency: a node can only influence another node
+// through a link, so no cross-shard effect can land sooner than now() +
+// latency.  The default plan (1 shard, lookahead 0) is the legacy plain
+// single-queue engine, byte-identical to the pre-sharding simulator.
 #pragma once
 
 #include <memory>
@@ -11,16 +19,53 @@
 #include "kernel/config.hpp"
 #include "kernel/machine.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 
 namespace ktau::kernel {
 
+/// How to partition a cluster's nodes across event queues.
+struct ShardPlan {
+  /// Worker shards (clamped to 1 when lookahead == 0).
+  unsigned shards = 1;
+  /// Conservative lookahead — must be <= the minimum cross-node link
+  /// latency (knet's Fabric validates this when it is wired up).
+  sim::TimeNs lookahead = 0;
+};
+
 class Cluster {
  public:
-  Cluster() = default;
+  Cluster() : Cluster(ShardPlan{}) {}
+  explicit Cluster(const ShardPlan& plan)
+      : sharded_(plan.shards, plan.lookahead) {}
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Engine& engine() { return engine_; }
+  /// Shard-0 engine.  In a legacy (unsharded) cluster this is THE engine;
+  /// sharded clusters use it for global setup events (workload spawns,
+  /// run-loop chunking) that must not race with per-node state.
+  sim::Engine& engine() { return sharded_.shard(0); }
+
+  sim::ShardedEngine& sharded_engine() { return sharded_; }
+
+  /// True when this cluster runs under the epoch protocol (every
+  /// cross-node schedule is committed at epoch barriers, regardless of the
+  /// shard count — a sharded() cluster with 1 shard is the serial
+  /// reference ordering that `--sim-threads N` must reproduce).
+  bool sharded() const { return sharded_.epoched(); }
+  unsigned shards() const { return sharded_.shards(); }
+  sim::TimeNs lookahead() const { return sharded_.lookahead(); }
+
+  /// Event-queue shard owning node `id` (round-robin placement).
+  unsigned shard_of(NodeId id) const { return id % sharded_.shards(); }
+
+  /// Schedules `cb` at absolute time `t` on dst's shard, from code running
+  /// on src's shard.  This is the only legal way to schedule onto another
+  /// node's timeline in a sharded cluster; `t` must respect the lookahead.
+  template <typename F>
+  void cross_schedule(NodeId src, NodeId dst, sim::TimeNs t, F&& cb) {
+    sharded_.cross_schedule(shard_of(src), src, shard_of(dst), t,
+                            std::forward<F>(cb));
+  }
 
   /// Adds a node.  Node ids are dense, in creation order.
   Machine& add_machine(const MachineConfig& cfg);
@@ -29,16 +74,29 @@ class Cluster {
   const Machine& machine(NodeId id) const { return *machines_.at(id); }
   std::size_t size() const { return machines_.size(); }
 
+  /// Pre-sizes every shard's event pools and cross-shard mailboxes.
+  void reserve_events(std::size_t events_per_shard,
+                      std::size_t mailbox_per_link) {
+    sharded_.reserve(events_per_shard, mailbox_per_link);
+  }
+
   /// Runs the simulation until no events remain.
-  void run() { engine_.run(); }
+  void run() { sharded_.run(); }
 
   /// Runs the simulation up to (and including) time `t`.
-  void run_until(sim::TimeNs t) { engine_.run_until(t); }
+  void run_until(sim::TimeNs t) { sharded_.run_until(t); }
 
-  sim::TimeNs now() const { return engine_.now(); }
+  /// Committed global time.  Only valid between run()/run_until() calls —
+  /// never from inside a simulation callback, where the shards' clocks
+  /// advance concurrently (asserted in ShardedEngine::now()).  Event code
+  /// uses its own node's engine clock instead.
+  sim::TimeNs now() const { return sharded_.now(); }
+
+  /// Events executed across all shards.
+  std::uint64_t executed_total() const { return sharded_.executed_total(); }
 
  private:
-  sim::Engine engine_;
+  sim::ShardedEngine sharded_;
   std::vector<std::unique_ptr<Machine>> machines_;
 };
 

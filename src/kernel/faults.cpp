@@ -20,7 +20,7 @@ NodeFaultInjector::NodeFaultInjector(Machine& machine, sim::FaultPlan& plan)
         m_.ktau().map_event(sim::kStealEvent, meas::Group::Irq);
     steal_line_ = m_.register_irq(ev, [this](Cpu& cpu) {
       cpu.clock.consume_cycles(steal_cycles_);
-      ++plan_.totals().steal_bursts;
+      ++plan_.node_totals(m_.id()).steal_bursts;
     });
     // Phase-shift the first burst uniformly inside one period so victims
     // with different ids do not steal in lockstep.
@@ -47,7 +47,7 @@ void NodeFaultInjector::fire_storm_burst() {
   const sim::TimeNs now = m_.engine().now();
   for (std::uint32_t i = 0; i < fc.storm_len; ++i) {
     m_.engine().schedule_at(now + i * fc.storm_gap, [this] {
-      ++plan_.totals().storm_irqs;
+      ++plan_.node_totals(m_.id()).storm_irqs;
       m_.raise_device_irq(storm_line_);
     });
   }

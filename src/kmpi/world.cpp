@@ -16,6 +16,20 @@ World::World(kernel::Cluster& cluster, knet::Fabric& fabric,
                               p.start_delay);
     tasks_.push_back(&t);
   }
+  if (cluster_.sharded()) {
+    // Under the epoched scheduler, ranks first talk to each other from
+    // worker threads, so lazily connecting a channel on first use would (a)
+    // race on the fabric's socket tables and (b) make fd numbering depend
+    // on the execution interleaving.  Pre-wire every ordered pair during
+    // single-threaded setup, in a fixed order, so fds are identical for
+    // every shard count.
+    const int n = static_cast<int>(placement_.size());
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        if (src != dst) chan(src, dst);
+      }
+    }
+  }
 }
 
 void World::launch_all() {

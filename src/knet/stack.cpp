@@ -18,6 +18,8 @@ NodeStack::NodeStack(Fabric& fabric, kernel::Machine& machine,
       machine_(machine),
       cfg_(cfg),
       faults_(faults),
+      jitter_rng_(cfg.seed ^
+                  (0x9E3779B97F4A7C15ULL * (std::uint64_t{machine.id()} + 1))),
       backlog_(machine.cpu_count()) {
   auto& ktau = machine_.ktau();
   ev_sys_writev_ = ktau.map_event("sys_writev", meas::Group::Syscall);
@@ -114,7 +116,7 @@ sim::TimeNs NodeStack::egress_arrival(sim::TimeNs ready, std::uint32_t bytes) {
       static_cast<double>(bytes) / cfg_.bandwidth_bps * sim::kSecond);
   nic_free_at_ = std::max(nic_free_at_, ready) + tx_time;
   const sim::TimeNs jitter = static_cast<sim::TimeNs>(
-      fabric_.rng().exponential(static_cast<double>(cfg_.latency_jitter_mean)));
+      jitter_rng_.exponential(static_cast<double>(cfg_.latency_jitter_mean)));
   return nic_free_at_ + cfg_.latency + jitter;
 }
 
@@ -146,9 +148,14 @@ void NodeStack::transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
         break;
     }
   }
-  NodeStack& peer_stack = fabric_.stack(socket(src_fd).peer_node);
-  machine_.engine().schedule_at(
-      arrival, [&peer_stack, pkt] { peer_stack.deliver(pkt); });
+  // Cross-node delivery must go through the cluster so a sharded run can
+  // buffer it for the epoch barrier; arrival >= now + latency >= now +
+  // lookahead, which is exactly the conservative-window guarantee.
+  const kernel::NodeId peer_node = socket(src_fd).peer_node;
+  NodeStack& peer_stack = fabric_.stack(peer_node);
+  fabric_.cluster().cross_schedule(
+      machine_.id(), peer_node, arrival,
+      [&peer_stack, pkt] { peer_stack.deliver(pkt); });
 }
 
 void NodeStack::retx_timer_irq(Cpu& cpu) {
@@ -161,7 +168,7 @@ void NodeStack::retx_timer_irq(Cpu& cpu) {
     retx_queue_.pop_front();
     cpu.clock.consume_cycles(cfg_.tcp_send_base);
     ++retransmits_;
-    ++faults_->totals().retransmits;
+    ++faults_->node_totals(machine_.id()).retransmits;
     const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, rt.pkt.bytes);
     transmit(cpu.clock.cursor, rt.src_fd, rt.pkt, arrival, rt.tries);
   }
@@ -322,6 +329,13 @@ void NodeStack::net_rx_softirq(Cpu& cpu) {
 
 Fabric::Fabric(kernel::Cluster& cluster, NetConfig cfg, sim::FaultPlan* faults)
     : cluster_(cluster), cfg_(cfg), rng_(cfg.seed), faults_(faults) {
+  if (cluster.sharded() && cluster.lookahead() > cfg_.latency) {
+    // The conservative scheduler's safety argument is "no cross-node effect
+    // lands sooner than one link latency"; a lookahead above the latency
+    // would let shards execute past incoming arrivals.
+    throw std::invalid_argument(
+        "knet: cluster shard lookahead exceeds the link latency");
+  }
   stacks_.reserve(cluster.size());
   for (kernel::NodeId n = 0; n < cluster.size(); ++n) {
     stacks_.push_back(

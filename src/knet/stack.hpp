@@ -134,6 +134,12 @@ class NodeStack final : public kernel::NetStack {
   const NetConfig& cfg_;
   sim::FaultPlan* faults_;
 
+  /// Per-node link-jitter stream.  Jitter used to be drawn from one
+  /// fabric-wide Rng; per-node streams keep the egress path free of shared
+  /// mutable state so shards never contend (and a node's jitter schedule
+  /// no longer depends on other nodes' send interleaving).
+  sim::Rng jitter_rng_;
+
   std::vector<std::unique_ptr<Socket>> sockets_;
 
   /// Segments landed in the rx ring, not yet pulled off by the IRQ handler.

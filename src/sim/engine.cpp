@@ -23,10 +23,18 @@ std::uint32_t Engine::acquire_slot() {
     free_head_ = pos_[idx];
     return idx;
   }
+  if (gen_.size() == gen_.capacity()) ++pool_grows_;
   gen_.push_back(0);
   pos_.push_back(kNullPos);
   cb_.emplace_back();
   return static_cast<std::uint32_t>(gen_.size() - 1);
+}
+
+void Engine::reserve(std::size_t events) {
+  gen_.reserve(events);
+  pos_.reserve(events);
+  cb_.reserve(events);
+  heap_.reserve(events);
 }
 
 void Engine::release_slot(std::uint32_t idx) {
@@ -116,6 +124,22 @@ void Engine::run() {
 void Engine::run_until(TimeNs t) {
   while (!heap_.empty() && heap_[0].time <= t) step();
   now_ = std::max(now_, t);
+}
+
+void Engine::run_events_below(TimeNs h, bool inclusive) {
+  // Inclusive windows (the parallel scheduler's saturated kTimeMax horizon)
+  // admit at-horizon events only if they were pending at window entry: an
+  // event at kTimeMax that reschedules itself at kTimeMax (schedule_after
+  // saturates there) would otherwise keep the window non-empty forever.
+  // Deferred events run in the next window; they carry a later seq than
+  // everything pending here, so the global (time, seq) execution order —
+  // and hence shard-count byte-identity — is unchanged.
+  const std::uint32_t seq_limit = next_seq_;
+  while (!heap_.empty() &&
+         (heap_[0].time < h ||
+          (inclusive && heap_[0].time == h && heap_[0].seq < seq_limit))) {
+    step();
+  }
 }
 
 }  // namespace ktau::sim

@@ -63,16 +63,19 @@ class Engine {
       cb_[idx].emplace(std::forward<F>(cb));
     }
     const auto pos = static_cast<std::uint32_t>(heap_.size());
+    if (heap_.size() == heap_.capacity()) ++pool_grows_;
     heap_.push_back(HeapEntry{t > now_ ? t : now_, next_seq_++, idx});
     pos_[idx] = pos;
     sift_up(pos);
     return (static_cast<EventId>(gen_[idx]) << 32) | (idx + 1);
   }
 
-  /// Schedules `cb` to run `dt` after the current time.
+  /// Schedules `cb` to run `dt` after the current time.  Saturates at
+  /// kTimeMax instead of wrapping (a wrapped sum would clamp to now() and
+  /// fire immediately).
   template <typename F>
   EventId schedule_after(TimeNs dt, F&& cb) {
-    return schedule_at(now_ + dt, std::forward<F>(cb));
+    return schedule_at(time_add_sat(now_, dt), std::forward<F>(cb));
   }
 
   /// Cancels a previously scheduled event.  Cancelling an event that already
@@ -88,11 +91,39 @@ class Engine {
   /// Runs events with time <= `t`, then sets now() to `t`.
   void run_until(TimeNs t);
 
+  /// Runs events with time < `h` (or <= `h` when `inclusive`), leaving
+  /// now() at the last executed event instead of bumping it to the bound.
+  /// This is the conservative-window primitive of the parallel scheduler:
+  /// the shard's clock must not overtake the horizon, because cross-shard
+  /// arrivals committed at the epoch barrier land exactly at/after it.
+  /// In inclusive mode, events scheduled at exactly `h` from within the
+  /// window defer to the next call — see the guard in the implementation.
+  void run_events_below(TimeNs h, bool inclusive = false);
+
+  /// Advances now() to `t` without running anything (t < now() is a no-op).
+  void advance_to(TimeNs t) { now_ = std::max(now_, t); }
+
+  /// Time of the earliest pending event.  Precondition: pending() > 0.
+  TimeNs next_time() const { return heap_[0].time; }
+
+  /// Pre-sizes the slot pool, heap, and callback/bookkeeping vectors for
+  /// `events` concurrently pending events, so steady-state scheduling at
+  /// that occupancy performs no vector growth (see pool_grows()).
+  void reserve(std::size_t events);
+
   /// Number of live (non-cancelled) pending events.
   std::size_t pending() const { return heap_.size(); }
 
   /// Total events executed since construction (simulator health metric).
   std::uint64_t executed() const { return executed_; }
+
+  /// Internal-vector growth events (slot pool or heap reallocation) since
+  /// construction.  A run whose peak occupancy was covered by reserve()
+  /// keeps this at its post-warmup value; bench_engine gates on it.  This
+  /// deliberately counts capacity growth rather than global operator-new
+  /// calls: a process-wide allocation counter would observe other trials
+  /// under the parallel runner and break `--jobs` byte-identity.
+  std::uint64_t pool_grows() const { return pool_grows_; }
 
  private:
   static constexpr std::uint32_t kNullPos = 0xFFFFFFFFu;
@@ -126,6 +157,7 @@ class Engine {
   TimeNs now_ = 0;
   std::uint32_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t pool_grows_ = 0;
   // Slot pool as parallel arrays: sift operations rewrite pos_ back-pointers
   // on every swap, so pos_ must be a dense 4-byte array (cache-resident) —
   // not a field inside an 80-byte slot struct.  A slot's generation matches

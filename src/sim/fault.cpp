@@ -24,6 +24,7 @@ FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint32_t nodes)
     : cfg_(cfg) {
   net_rng_.reserve(nodes);
   interference_rng_.reserve(nodes);
+  node_totals_.resize(nodes);
   for (std::uint32_t n = 0; n < nodes; ++n) {
     net_rng_.emplace_back(stream_seed(cfg_.seed, n, kNetPurpose));
     interference_rng_.emplace_back(
@@ -39,11 +40,11 @@ FaultPlan::SegmentFate FaultPlan::segment_fate(std::uint32_t src_node) {
   const bool drop = rng.bernoulli(cfg_.drop_prob);
   const bool reorder = rng.bernoulli(cfg_.reorder_prob);
   if (drop) {
-    ++totals_.segments_dropped;
+    ++node_totals_.at(src_node).segments_dropped;
     return SegmentFate::Drop;
   }
   if (reorder) {
-    ++totals_.segments_reordered;
+    ++node_totals_.at(src_node).segments_reordered;
     return SegmentFate::Reorder;
   }
   return SegmentFate::Deliver;

@@ -127,6 +127,15 @@ class FaultPlan {
     std::uint64_t retransmits = 0;
     std::uint64_t storm_irqs = 0;
     std::uint64_t steal_bursts = 0;
+
+    Totals& operator+=(const Totals& o) {
+      segments_dropped += o.segments_dropped;
+      segments_reordered += o.segments_reordered;
+      retransmits += o.retransmits;
+      storm_irqs += o.storm_irqs;
+      steal_bursts += o.steal_bursts;
+      return *this;
+    }
   };
 
   FaultPlan(const FaultConfig& cfg, std::uint32_t nodes);
@@ -143,14 +152,25 @@ class FaultPlan {
     return interference_rng_.at(node);
   }
 
-  Totals& totals() { return totals_; }
-  const Totals& totals() const { return totals_; }
+  /// Injection counters of one node.  Counters are per-node slabs (not one
+  /// shared struct) so injectors on different cluster shards never touch
+  /// the same cache line — the plan stays data-race-free under the parallel
+  /// scheduler without atomics.
+  Totals& node_totals(std::uint32_t node) { return node_totals_.at(node); }
+
+  /// Cluster-wide totals (sum over nodes).
+  Totals totals() const {
+    Totals sum;
+    for (const Totals& t : node_totals_) sum += t;
+    return sum;
+  }
 
  private:
   FaultConfig cfg_;
   std::vector<Rng> net_rng_;           // indexed by sending node
   std::vector<Rng> interference_rng_;  // indexed by node
-  Totals totals_;
+  struct alignas(64) PaddedTotals : Totals {};
+  std::vector<PaddedTotals> node_totals_;  // indexed by node
 };
 
 }  // namespace ktau::sim

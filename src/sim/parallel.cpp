@@ -1,0 +1,215 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace ktau::sim {
+
+void ShardedEngine::lookahead_violation(TimeNs src_now, TimeNs t) {
+  throw std::logic_error(
+      "ShardedEngine::cross_schedule violates the conservative lookahead: "
+      "t=" + std::to_string(t) + " < src now=" + std::to_string(src_now) +
+      " + lookahead");
+}
+
+ShardedEngine::ShardedEngine(unsigned shards, TimeNs lookahead)
+    : lookahead_(lookahead) {
+  unsigned n = shards == 0 ? 1u : shards;
+  if (lookahead_ == 0) n = 1;  // zero-lookahead fallback: one queue
+  engines_.reserve(n);
+  for (unsigned s = 0; s < n; ++s) engines_.push_back(std::make_unique<Engine>());
+  outbox_.resize(static_cast<std::size_t>(n) * n);
+  mailbox_grows_.resize(n);
+}
+
+TimeNs ShardedEngine::now() const {
+  // Unsynchronized scan of every shard's clock — only valid between runs
+  // (see header).  Calling this from inside an epoched run would be a data
+  // race with the worker threads.
+  assert(!running_ && "ShardedEngine::now() called during an epoched run");
+  TimeNs t = 0;
+  for (const auto& e : engines_) t = std::max(t, e->now());
+  return t;
+}
+
+void ShardedEngine::reserve(std::size_t events_per_shard,
+                            std::size_t mailbox_per_link) {
+  for (auto& e : engines_) e->reserve(events_per_shard);
+  for (auto& box : outbox_) box.reserve(mailbox_per_link);
+  scratch_.reserve(mailbox_per_link * engines_.size());
+}
+
+std::uint64_t ShardedEngine::executed_total() const {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->executed();
+  return n;
+}
+
+std::size_t ShardedEngine::pending_total() const {
+  std::size_t n = 0;
+  for (const auto& e : engines_) n += e->pending();
+  return n;
+}
+
+std::uint64_t ShardedEngine::pool_grows_total() const {
+  std::uint64_t n = 0;
+  for (const auto& e : engines_) n += e->pool_grows();
+  return n;
+}
+
+std::uint64_t ShardedEngine::mailbox_grows() const {
+  std::uint64_t n = scratch_grows_;
+  for (const auto& g : mailbox_grows_) n += g.count;
+  return n;
+}
+
+void ShardedEngine::commit_mailboxes() {
+  const std::size_t n = engines_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    scratch_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      for (Msg& m : outbox_[src * n + dst]) {
+        if (scratch_.size() == scratch_.capacity()) ++scratch_grows_;
+        scratch_.push_back(&m);
+      }
+    }
+    if (scratch_.empty()) continue;
+    // Canonical commit order: (time, src_key, per-source emit order).  Two
+    // messages with equal time and src_key come from the same outbox, where
+    // pointer order is emit order — so the key is total and shard-count-
+    // independent, and the destination heap assigns the same sequence
+    // numbers no matter how the cluster was partitioned.
+    std::sort(scratch_.begin(), scratch_.end(), [](const Msg* a, const Msg* b) {
+      if (a->time != b->time) return a->time < b->time;
+      if (a->src_key != b->src_key) return a->src_key < b->src_key;
+      return a < b;
+    });
+    Engine& e = *engines_[dst];
+    for (Msg* m : scratch_) e.schedule_at(m->time, std::move(m->cb));
+    for (std::size_t src = 0; src < n; ++src) outbox_[src * n + dst].clear();
+  }
+}
+
+bool ShardedEngine::begin_epoch(bool bounded, TimeNs t) {
+  commit_mailboxes();
+  bool any = false;
+  TimeNs m = kTimeMax;
+  for (const auto& e : engines_) {
+    if (e->pending() == 0) continue;
+    any = true;
+    m = std::min(m, e->next_time());
+  }
+  if (!any) return false;
+  if (bounded && m > t) return false;
+  TimeNs h = time_add_sat(m, lookahead_);
+  if (bounded) h = std::min(h, time_add_sat(t, 1));
+  epoch_h_ = h;
+  // A saturated horizon would otherwise exclude events sitting exactly at
+  // kTimeMax forever (time < kTimeMax never admits them): run the window
+  // inclusively.  Cross-shard arrivals from such events also saturate to
+  // kTimeMax and still commit at the barrier, after everything already
+  // pending — identical in every shard count.  Engine::run_events_below
+  // admits at-horizon events only if pending at window entry, so an event
+  // at kTimeMax rescheduling itself at kTimeMax cannot pin a worker inside
+  // the window — each window terminates and the chain advances one window
+  // per epoch, reaching the barrier (and any pending error) every time.
+  epoch_inclusive_ = (h == kTimeMax);
+  ++epochs_;
+  return true;
+}
+
+void ShardedEngine::run() { drive(false, 0); }
+
+void ShardedEngine::run_until(TimeNs t) {
+  drive(true, t);
+  for (auto& e : engines_) e->advance_to(t);
+}
+
+void ShardedEngine::drive(bool bounded, TimeNs t) {
+  if (!epoched()) {
+    if (bounded) {
+      engines_[0]->run_until(t);
+    } else {
+      engines_[0]->run();
+    }
+    return;
+  }
+  running_ = true;
+  if (engines_.size() == 1) {
+    // Serial epoched mode: same windows, same barrier-point commits, no
+    // threads — the reference ordering every parallel run must reproduce.
+    try {
+      while (begin_epoch(bounded, t)) {
+        engines_[0]->run_events_below(epoch_h_, epoch_inclusive_);
+      }
+    } catch (...) {
+      running_ = false;
+      throw;
+    }
+    running_ = false;
+    return;
+  }
+  drive_parallel(bounded, t);
+}
+
+void ShardedEngine::drive_parallel(bool bounded, TimeNs t) {
+  const unsigned n = shards();
+  bool done = false;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  // One barrier per epoch.  The completion step runs single-threaded while
+  // every worker is blocked: it commits the windows' outboxes, publishes
+  // the next horizon, and decides termination.  std::barrier sequences the
+  // completion before any worker resumes, so workers read epoch_h_ /
+  // done without further synchronization.
+  auto on_epoch = [&]() noexcept {
+    try {
+      bool error = false;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        error = static_cast<bool>(first_error);
+      }
+      done = error || !begin_epoch(bounded, t);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+      done = true;
+    }
+  };
+  std::barrier<decltype(on_epoch)> epoch_barrier(n, on_epoch);
+
+  auto worker = [&](unsigned s) {
+    for (;;) {
+      epoch_barrier.arrive_and_wait();
+      if (done) return;
+      try {
+        engines_[s]->run_events_below(epoch_h_, epoch_inclusive_);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Keep arriving at the barrier so the other shards can drain out;
+        // the next completion step sees the error and terminates the run.
+      }
+    }
+  };
+
+  // Workers live for one drive() call.  Callers chunk run_until at multi-
+  // second granularity (thousands of epochs per chunk), so spawn cost is
+  // noise; revisit with a persistent pool if chunking becomes finer.
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (unsigned s = 1; s < n; ++s) pool.emplace_back(worker, s);
+  worker(0);
+  for (auto& th : pool) th.join();
+  running_ = false;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ktau::sim

@@ -1,0 +1,152 @@
+// Conservative parallel discrete-event scheduler: one cluster, N shards.
+//
+// ShardedEngine owns S independent Engines (the indexed 4-ary heaps) and
+// runs them in lockstep synchronous windows.  The model that makes this
+// safe is the knet fabric: nodes interact *only* through links with a
+// nonzero one-way latency L (NetConfig::latency, 70 µs), so an event
+// executing at time t on one shard can influence another shard no earlier
+// than t + L.  Each epoch therefore:
+//
+//   1. (barrier, single-threaded) commits the previous window's cross-shard
+//      messages into their destination heaps in canonical order, computes
+//      m = min over all shards of the earliest pending event, and publishes
+//      the horizon h = m + L (saturating);
+//   2. (parallel) every shard executes all of its events with time < h,
+//      appending cross-shard sends to per-(src,dst) outboxes.
+//
+// Determinism (the `--sim-threads N` byte-identity invariant, DESIGN.md
+// §11): epoch boundaries are a pure function of the *global* pending-event
+// multiset (m does not depend on how events are partitioned), every
+// cross-node message — even one whose destination shares the sender's
+// shard — is committed only at the barrier, and commits are ordered by
+// (time, src_key, per-source emit order) before sequence numbers are
+// assigned.  Hence each shard's (time, seq) execution order is independent
+// of the shard count, and a 1-shard epoched run is bit-identical to an
+// 8-shard run.  The zero-lookahead edge case (L == 0) clamps to one shard
+// and plain single-queue execution — there is no safe window to parallelize.
+//
+// Outboxes and the commit scratch are retained across epochs (clear keeps
+// capacity), so the steady-state mailbox path performs no allocation; see
+// mailbox_grows().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ktau::sim {
+
+class ShardedEngine {
+ public:
+  /// `shards` event queues with conservative lookahead `lookahead`.
+  /// lookahead == 0 forces a single shard (documented fallback): with no
+  /// minimum cross-shard delay every commit could land inside the current
+  /// window, so the only safe partition is none.
+  ShardedEngine(unsigned shards, TimeNs lookahead);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  unsigned shards() const { return static_cast<unsigned>(engines_.size()); }
+  TimeNs lookahead() const { return lookahead_; }
+  /// True when runs use the epoch protocol (lookahead > 0).  A plain
+  /// ShardedEngine(1, 0) behaves exactly like a bare Engine.
+  bool epoched() const { return lookahead_ > 0; }
+
+  Engine& shard(unsigned s) { return *engines_[s]; }
+  const Engine& shard(unsigned s) const { return *engines_[s]; }
+
+  /// Committed global time: the farthest any shard has advanced.  All
+  /// shards agree after run_until().  Must NOT be called from inside an
+  /// epoched run — the shards' clocks advance concurrently, so reading
+  /// them from a simulation callback is a data race (asserted).  Event
+  /// code wanting the current time uses its own shard's Engine::now().
+  TimeNs now() const;
+
+  /// Schedules `cb` at absolute time `t` on `dst_shard` from code running
+  /// on `src_shard`.  Inside an epoched run the message is buffered and
+  /// committed at the next barrier in canonical (time, src_key, emit
+  /// order); outside a run (setup) or in plain mode it schedules directly.
+  /// `t` must respect the lookahead: t >= src shard now() + lookahead.
+  /// `src_key` canonically orders equal-time commits from different
+  /// sources (callers pass the sending node id).
+  template <typename F>
+  void cross_schedule(unsigned src_shard, std::uint32_t src_key,
+                      unsigned dst_shard, TimeNs t, F&& cb) {
+    if (!running_ || !epoched()) {
+      engines_[dst_shard]->schedule_at(t, std::forward<F>(cb));
+      return;
+    }
+    // Always-on (not just assert): a violating schedule would silently
+    // corrupt the epoch-window safety argument in release builds, which is
+    // exactly where the CI identity/TSan gates run.  One compare on the
+    // send path; the throw is out of line.
+    if (t < time_add_sat(engines_[src_shard]->now(), lookahead_)) {
+      lookahead_violation(engines_[src_shard]->now(), t);
+    }
+    Outbox& box = outbox_[src_shard * engines_.size() + dst_shard];
+    if (box.size() == box.capacity()) ++mailbox_grows_[src_shard].count;
+    box.push_back(Msg{t, src_key, Engine::Callback(std::forward<F>(cb))});
+  }
+
+  /// Runs until no events remain anywhere (and all mailboxes are drained).
+  void run();
+
+  /// Runs events with time <= `t`, then advances every shard's now() to `t`.
+  void run_until(TimeNs t);
+
+  /// Pre-sizes every shard's pools for `events_per_shard` pending events
+  /// and every (src,dst) mailbox for `mailbox_per_link` messages per epoch.
+  void reserve(std::size_t events_per_shard, std::size_t mailbox_per_link);
+
+  std::uint64_t executed_total() const;
+  std::size_t pending_total() const;
+  /// Sum of every shard's Engine::pool_grows().
+  std::uint64_t pool_grows_total() const;
+  /// Outbox/commit-scratch capacity growths (0 in a well-reserved run).
+  std::uint64_t mailbox_grows() const;
+  /// Synchronous windows executed so far (epoched mode only).
+  std::uint64_t epochs() const { return epochs_; }
+
+ private:
+  struct Msg {
+    TimeNs time;
+    std::uint32_t src_key;
+    Engine::Callback cb;
+  };
+  using Outbox = std::vector<Msg>;
+  /// Cache-line pad: each source shard's worker bumps only its own counter.
+  struct alignas(64) GrowCounter {
+    std::uint64_t count = 0;
+  };
+
+  /// Reports a cross_schedule whose time lands inside the current window.
+  [[noreturn]] static void lookahead_violation(TimeNs src_now, TimeNs t);
+
+  /// Commits all outboxes, then computes the next window.  Returns false
+  /// when the run is complete (no pending events, or all beyond `t`).
+  /// Single-threaded: runs under the epoch barrier's completion step.
+  bool begin_epoch(bool bounded, TimeNs t);
+  void commit_mailboxes();
+  void drive(bool bounded, TimeNs t);
+  void drive_parallel(bool bounded, TimeNs t);
+
+  TimeNs lookahead_ = 0;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<Outbox> outbox_;        // S*S, indexed src * S + dst
+  std::vector<Msg*> scratch_;         // per-destination commit ordering
+  std::vector<GrowCounter> mailbox_grows_;  // per src shard
+  std::uint64_t scratch_grows_ = 0;
+  std::uint64_t epochs_ = 0;
+  bool running_ = false;
+
+  // Window published by begin_epoch for the workers (synchronized by the
+  // epoch barrier; serial mode reads them directly).
+  TimeNs epoch_h_ = 0;
+  bool epoch_inclusive_ = false;
+};
+
+}  // namespace ktau::sim

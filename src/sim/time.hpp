@@ -27,6 +27,22 @@ inline constexpr TimeNs kMicrosecond = 1'000;
 inline constexpr TimeNs kMillisecond = 1'000'000;
 inline constexpr TimeNs kSecond = 1'000'000'000;
 
+/// The end of simulated time (~584 years).  Timeline arithmetic saturates
+/// here instead of wrapping: a wrapped u64 sum would land an event in the
+/// *past*, where Engine::schedule_at clamps it to now() — silently turning
+/// "far future" into "immediately", which deadlock-spins timer wheels and
+/// breaks the epoch-horizon math of the parallel scheduler.
+inline constexpr TimeNs kTimeMax = ~TimeNs{0};
+
+/// `a + b` on the timeline, saturating at kTimeMax on overflow.  Used by
+/// Engine::schedule_after and the conservative-window horizon computation
+/// (min_now + lookahead), both of which legitimately approach the limit
+/// when configs use "forever" sentinels like 100'000 s * large multipliers.
+constexpr TimeNs time_add_sat(TimeNs a, TimeNs b) {
+  const TimeNs sum = a + b;
+  return sum < a ? kTimeMax : sum;
+}
+
 /// Converts a cycle count on a CPU of frequency `freq` to nanoseconds,
 /// rounding to nearest.  Frequencies below 1 MHz are not supported (the
 /// simulator models late-90s-or-newer hardware).
