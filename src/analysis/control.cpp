@@ -1,0 +1,43 @@
+#include "analysis/control.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace ktau::analysis {
+
+char action_tag(ControlDecision::Action a) {
+  switch (a) {
+    case ControlDecision::Action::Hold:
+      return '-';
+    case ControlDecision::Action::MaskDown:
+      return 'm';
+    case ControlDecision::Action::MaskUp:
+      return 'M';
+    case ControlDecision::Action::GrowRing:
+      return 'g';
+  }
+  return '?';
+}
+
+void render_control_decisions(std::ostream& os,
+                              std::span<const ControlDecision> log) {
+  char line[160];
+  for (const ControlDecision& d : log) {
+    std::snprintf(line, sizeof(line),
+                  "t=%8.3f cycles=%10" PRIu64 " wire=%8" PRIu64
+                  " lost=%8" PRIu64 " act=%c groups=%s ring=%" PRIu64 "\n",
+                  static_cast<double>(d.at) / sim::kSecond, d.probe_cycles,
+                  d.wire_bytes, d.trace_dropped, action_tag(d.action),
+                  meas::format_groups(d.groups).c_str(), d.trace_capacity);
+    os << line;
+  }
+}
+
+std::string control_decisions_to_string(std::span<const ControlDecision> log) {
+  std::ostringstream os;
+  render_control_decisions(os, log);
+  return os.str();
+}
+
+}  // namespace ktau::analysis

@@ -1,0 +1,55 @@
+// Measurement-control decision records (DESIGN.md §12).
+//
+// The adaptive controller (clients/adaptd) emits one ControlDecision per
+// decision period: the perturbation / loss signals it observed, the actuator
+// state after the decision, and which actuator (if any) it moved.  The
+// renderer turns a decision log into deterministic fixed-format rows for the
+// experiment reports — pure functions of the simulated run, so they obey the
+// same byte-identity contract as every other report line.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "ktau/events.hpp"
+#include "sim/time.hpp"
+
+namespace ktau::analysis {
+
+/// One controller decision period's observation + action.
+struct ControlDecision {
+  sim::TimeNs at = 0;               // decision time
+  std::uint64_t probe_cycles = 0;   // probe overhead cycles this period
+  std::uint64_t wire_bytes = 0;     // extraction wire bytes this period
+  std::uint64_t trace_dropped = 0;  // trace records lost this period
+  meas::GroupMask groups = 0;       // runtime group mask after the decision
+  std::uint64_t trace_capacity = 0; // per-task ring capacity after
+
+  /// What the controller did this period.
+  enum class Action : std::uint8_t {
+    Hold,      // all signals within budget, no knob moved
+    MaskDown,  // perturbation over budget: switched to the sparse mask
+    MaskUp,    // signals calm again: restored the dense mask
+    GrowRing,  // trace loss over budget: grew the rings
+  };
+  Action action = Action::Hold;
+
+  bool operator==(const ControlDecision&) const = default;
+};
+
+/// Single-character tag used in the rendered rows ('-', 'm', 'M', 'g').
+char action_tag(ControlDecision::Action a);
+
+/// Renders a decision log as fixed-format rows:
+///   t=<sec> cycles=<n> wire=<n> lost=<n> act=<tag> groups=<mask> ring=<cap>
+/// One row per decision, deterministic formatting (no locale, no floats
+/// beyond the fixed-precision timestamp).
+void render_control_decisions(std::ostream& os,
+                              std::span<const ControlDecision> log);
+
+/// Same rows as a string (convenience for Report::printf-based reports).
+std::string control_decisions_to_string(std::span<const ControlDecision> log);
+
+}  // namespace ktau::analysis

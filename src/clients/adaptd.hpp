@@ -11,8 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "analysis/control.hpp"
 #include "clients/extract.hpp"
 #include "kernel/machine.hpp"
 #include "libktau/libktau.hpp"
@@ -37,9 +39,38 @@ struct AdaptdConfig {
   /// and charging as everything else.  Off by default.
   bool observe_traces = false;
   /// User-space processing cost per KiB of extracted profile data, cycles.
-  /// Historically adaptd charged nothing (a drift from ktaud the shared
-  /// extractor now makes explicit); 0 keeps that behavior.
+  /// Historically adaptd charged nothing (a drift from ktaud, whose default
+  /// is 2500 — see DESIGN.md §12); the legacy default 0 is kept so existing
+  /// scenarios stay byte-identical.  Controller scenarios set the real cost.
   std::uint64_t process_per_kb = 0;
+
+  // -- measurement-control loop (DESIGN.md §12) ----------------------------
+
+  /// When true the daemon is a closed-loop measurement controller: each
+  /// period it compares observed perturbation (probe overhead cycles +
+  /// extraction wire bytes) and trace loss against the budgets below, then
+  /// steers the runtime group mask and the per-task trace-ring capacity
+  /// through the procfs control channel.  Off by default — every legacy
+  /// scenario is byte-identical with the controller disabled.  Control mode
+  /// implies observe_traces (the loss signal comes from the controller's
+  /// own cursor drains).
+  bool control = false;
+  /// Per-period perturbation budgets: probe overhead cycles (node-wide
+  /// KtauSystem total, differenced per period) and extraction wire bytes.
+  std::uint64_t cycles_budget = 2'000'000;
+  std::uint64_t wire_budget = 256 * 1024;
+  /// Per-period trace-loss budget (records overwritten or discarded).
+  std::uint64_t loss_budget = 0;
+  /// Actuator 1: the masks the controller steers between.  sparse_groups
+  /// keeps sentinel groups live so the controller still sees load shift.
+  meas::GroupMask dense_groups = meas::kAllGroups;
+  meas::GroupMask sparse_groups = meas::Group::Sched | meas::Group::Irq;
+  /// Actuator 2: upper bound for the ring-grow actuator.
+  std::size_t max_trace_capacity = 8192;
+  /// Hysteresis: restore the dense mask only after this many consecutive
+  /// calm periods (all signals below budget / calm_divisor, zero loss).
+  std::uint32_t calm_periods = 2;
+  std::uint64_t calm_divisor = 4;
 };
 
 class Adaptd {
@@ -73,9 +104,29 @@ class Adaptd {
     return observed_trace_dropped_;
   }
 
+  /// Cumulative extraction wire bytes (profile + trace) moved by this
+  /// daemon's reads — the perturbation signal's wire component.
+  std::uint64_t observed_wire_bytes() const { return observed_wire_bytes_; }
+
+  /// Trace records seen (via observe_traces drains) whose event belongs to
+  /// `g` — the burst-coverage measure (0 when the group was masked off or
+  /// traces are not observed).
+  std::uint64_t observed_group_records(meas::Group g) const {
+    const auto it = group_records_.find(meas::mask_of(g));
+    return it == group_records_.end() ? 0 : it->second;
+  }
+
+  /// One entry per decision period in control mode (empty otherwise).
+  const std::vector<analysis::ControlDecision>& decision_log() const {
+    return decision_log_;
+  }
+
  private:
   kernel::Program controller_program();
   void decide_once();
+  /// The measurement-control step: compare this period's signals against
+  /// the budgets and steer the two actuators.
+  void control_step(std::uint64_t period_wire, std::uint64_t period_dropped);
 
   kernel::Machine& machine_;
   AdaptdConfig cfg_;
@@ -88,6 +139,17 @@ class Adaptd {
   double observed_irq_sec_ = 0;
   std::uint64_t observed_trace_records_ = 0;
   std::uint64_t observed_trace_dropped_ = 0;
+  std::uint64_t observed_wire_bytes_ = 0;
+  /// Per-group record census from the observe_traces drains, keyed by
+  /// mask_of(group).  Event groups are learned from the frames' incremental
+  /// name tables (ids are absolute registry ids).
+  std::unordered_map<meas::GroupMask, std::uint64_t> group_records_;
+  std::unordered_map<meas::EventId, meas::Group> event_groups_;
+  // Controller state (control mode only).
+  std::vector<analysis::ControlDecision> decision_log_;
+  meas::GroupMask cur_groups_ = meas::kAllGroups;
+  std::uint64_t prev_probe_cycles_ = 0;
+  std::uint32_t calm_streak_ = 0;
   std::vector<std::uint64_t> last_cpu_irqs_;
   /// Per-CPU counter baseline at the previous decision (deltas, not
   /// lifetime totals, drive the decision).

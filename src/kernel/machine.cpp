@@ -62,7 +62,10 @@ Task& Machine::spawn(std::string name, CpuMask affinity,
   auto task = std::make_unique<Task>(next_pid_++, std::move(name), id_);
   task->affinity = affinity;
   task->spawn_time = engine_.now() + start_delay;
-  if (cfg_.ktau.tracing) task->prof.enable_trace(cfg_.ktau.trace_capacity);
+  // Capacity comes from the live measurement system, not the construction
+  // config: a runtime ring-resize (ctl_set_trace_capacity) applies to tasks
+  // spawned afterwards too.
+  if (cfg_.ktau.tracing) task->prof.enable_trace(ktau_.trace_capacity());
   task->prof.enable_callpath(cfg_.ktau.callpath);
   task->prof.bind_epoch(ktau_.extraction_epoch_ptr());
   Task& ref = *task;

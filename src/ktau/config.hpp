@@ -41,6 +41,13 @@ struct OverheadModel {
   double atomic_cost = 120.0;
   /// Cost of appending one trace record (on top of start/stop cost).
   double trace_record_cost = 80.0;
+  /// Cost of one runtime-control write through the procfs control channel
+  /// (group-mask update or ring-resize request): ioctl entry + flag store.
+  /// Runtime knob changes are kernel work and perturb like any probe.
+  double ctl_cost = 400.0;
+  /// Per-retained-record cost of a trace-ring resize (allocate + relayout
+  /// copy), charged on top of ctl_cost for each ring touched.
+  double resize_per_record = 2.0;
 };
 
 struct KtauConfig {

@@ -130,6 +130,31 @@ std::vector<std::byte> ProcKtau::trace_read(Scope scope,
                                   cursor.names);
 }
 
+std::size_t ProcKtau::ctl_set_trace_capacity(std::size_t capacity, Scope scope,
+                                             std::span<const Pid> pids,
+                                             CpuClock* clock) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ctl_set_trace_capacity: capacity must be > 0");
+  }
+  if (clock != nullptr) sys_.charge_control(*clock, ctl_cost());
+  const auto selected = select(scope, pids, /*include_reaped=*/false);
+  std::size_t resized = 0;
+  for (const TaskSnapshotInput& view : selected) {
+    TaskProfile* prof = tasks_.find_profile(view.pid);
+    if (prof == nullptr || prof->trace() == nullptr) continue;
+    if (prof->trace()->capacity() == capacity) continue;
+    const std::size_t retained = prof->trace()->resize(capacity);
+    if (clock != nullptr) {
+      sys_.charge_control(
+          *clock, sys_.config().overhead.resize_per_record *
+                      static_cast<double>(retained));
+    }
+    ++resized;
+  }
+  sys_.set_trace_capacity(capacity);
+  return resized;
+}
+
 OverheadReport ProcKtau::ctl_overhead() const {
   OverheadReport rep;
   const sim::OnlineStats& start = sys_.start_overhead();

@@ -124,9 +124,30 @@ class ProcKtau {
   // -- control (ioctl-style) -------------------------------------------------
 
   /// Runtime instrumentation control (paper §3: "dynamic measurement
-  /// control to enable/disable kernel-level events at runtime").
-  void ctl_set_groups(GroupMask mask) { sys_.set_runtime_groups(mask); }
+  /// control to enable/disable kernel-level events at runtime").  When the
+  /// caller passes its CPU clock the control write is charged as probe-cost
+  /// kernel work (OverheadModel::ctl_cost); a null clock keeps the legacy
+  /// free write for contexts with no charging surface (tests, setup code).
+  void ctl_set_groups(GroupMask mask, CpuClock* clock = nullptr) {
+    if (clock != nullptr) sys_.charge_control(*clock, ctl_cost());
+    sys_.set_runtime_groups(mask);
+  }
   GroupMask ctl_get_groups() const { return sys_.runtime_groups(); }
+
+  /// Resizes the trace ring of every traced task in scope (Scope::All also
+  /// covers the per-CPU idle tasks) seq-preservingly — retained records and
+  /// oldest/next sequence accounting carry over; shrinking counts discarded
+  /// records as typed loss — and makes `capacity` the default for future
+  /// spawns.  Charged like ctl_set_groups, plus a per-retained-record
+  /// relayout cost for each ring touched.  Returns the number of rings
+  /// resized.  Throws std::invalid_argument for capacity 0.
+  std::size_t ctl_set_trace_capacity(std::size_t capacity,
+                                     Scope scope = Scope::All,
+                                     std::span<const Pid> pids = {},
+                                     CpuClock* clock = nullptr);
+
+  /// Current default trace-ring capacity (what a new spawn would get).
+  std::size_t ctl_trace_capacity() const { return sys_.trace_capacity(); }
 
   /// Direct-overhead query (Table 4).
   OverheadReport ctl_overhead() const;
@@ -137,6 +158,8 @@ class ProcKtau {
   /// views cover short-lived processes.
   std::vector<TaskSnapshotInput> select(Scope scope, std::span<const Pid> pids,
                                         bool include_reaped) const;
+
+  double ctl_cost() const { return sys_.config().overhead.ctl_cost; }
 
   KtauSystem& sys_;
   TaskTable& tasks_;

@@ -51,12 +51,27 @@ void KtauSystem::entry(CpuClock& clock, TaskProfile* prof, EventId ev) {
 void KtauSystem::exit(CpuClock& clock, TaskProfile* prof, EventId ev) {
   if (!cfg_.compiled_in) return;
   const Group g = info(ev).group;
-  if (!contains(effective_mask(), g)) {
+  // An exit probe pairs against the *in-flight entry*, not the current mask:
+  // the runtime mask can legally flip between a probe pair (procfs ctl), and
+  // early-returning here used to leave the pseudo-callstack unbalanced
+  // (ON->OFF: the open frame never closed and the next exit threw; OFF->ON:
+  // an exit with no matching entry threw immediately).  Four cases:
+  //   enabled + matching frame  — the normal path (bit-identical to before);
+  //   enabled + no frame        — entry ran while the group was off (OFF->ON
+  //                               flip): nothing to close, but the probe body
+  //                               still runs and charges full stop cost;
+  //   disabled + matching frame — entry ran while the group was on (ON->OFF
+  //                               flip): force-close the frame at full stop
+  //                               cost so the stack stays balanced;
+  //   disabled + no frame       — the steady disabled state: flag check only.
+  const bool live = contains(effective_mask(), g);
+  const bool paired = prof != nullptr && prof->current_event() == ev;
+  if (!live && !paired) {
     charge(clock, cfg_.overhead.disabled_check);
     return;
   }
   const sim::Cycles now = clock.now_cycles();
-  if (prof != nullptr) {
+  if (paired) {
     prof->exit(ev, now);
     if (cfg_.tracing && contains(cfg_.trace_groups, g) &&
         prof->trace() != nullptr) {

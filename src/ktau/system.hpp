@@ -90,6 +90,19 @@ class KtauSystem {
   void set_runtime_groups(GroupMask m) { cfg_.runtime_enabled = m; }
   GroupMask runtime_groups() const { return cfg_.runtime_enabled; }
 
+  /// Makes `capacity` the default trace-ring size for subsequently created
+  /// tasks (the live rings are resized by ProcKtau::ctl_set_trace_capacity,
+  /// which walks the task table).
+  void set_trace_capacity(std::size_t capacity) {
+    cfg_.trace_capacity = capacity;
+  }
+
+  /// Charges runtime-control work (mask writes, ring resizes) as measurement
+  /// overhead on the calling context — knob changes are kernel work KTAU
+  /// performs on its own behalf, so they perturb like any probe and show up
+  /// in total_overhead_cycles() / Table 4 accounting.
+  void charge_control(CpuClock& clock, double cycles) { charge(clock, cycles); }
+
   const KtauConfig& config() const { return cfg_; }
 
   EventRegistry& registry() { return registry_; }

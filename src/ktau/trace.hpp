@@ -68,6 +68,16 @@ class TraceBuffer {
   /// oldest retained record when full.
   void push(const TraceRecord& rec);
 
+  /// Changes the ring capacity in place, preserving sequence accounting:
+  /// retained records keep their sequence numbers, next_seq() is unchanged,
+  /// and readers' cursors stay valid.  Growing retains everything; shrinking
+  /// keeps the *newest* `capacity` records and counts the discarded older
+  /// ones exactly like ring overwrite — they surface as typed loss on the
+  /// next read (LTTng-style counted loss, never silent).  Capacity 0 is
+  /// rejected.  Returns the number of records retained after the resize
+  /// (the relayout copy count, which control paths charge for).
+  std::size_t resize(std::size_t capacity);
+
   /// Non-destructive cursor read: appends all retained records with
   /// sequence >= `cursor` (oldest first) to `out` and reports the records
   /// in [cursor, oldest_seq()) — already overwritten — as a typed loss.
@@ -97,9 +107,9 @@ class TraceBuffer {
   /// Sequence number the next pushed record will get (== total_pushed()).
   std::uint64_t next_seq() const { return next_seq_; }
   /// Sequence number of the oldest record still retained in the ring.
-  std::uint64_t oldest_seq() const {
-    return next_seq_ > ring_.size() ? next_seq_ - ring_.size() : 0;
-  }
+  /// Tracked explicitly (not derived from capacity) so a resize can carry
+  /// the accounting across the relayout.
+  std::uint64_t oldest_seq() const { return oldest_seq_; }
 
  private:
   /// First sequence a read from `cursor` can actually deliver.
@@ -110,6 +120,7 @@ class TraceBuffer {
 
   std::vector<TraceRecord> ring_;
   std::uint64_t next_seq_ = 0;      // total records ever pushed
+  std::uint64_t oldest_seq_ = 0;    // oldest sequence still retained
   std::uint64_t drain_cursor_ = 0;  // position of the legacy drain reader
 };
 

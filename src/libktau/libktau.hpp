@@ -97,8 +97,24 @@ class KtauHandle {
 
   // -- kernel control -----------------------------------------------------------
 
-  void set_groups(meas::GroupMask mask) { proc_.ctl_set_groups(mask); }
+  /// Runtime group-mask write.  Pass the calling context's CPU clock so the
+  /// control write is charged as kernel work (runtime knob changes perturb
+  /// like probes); null keeps the legacy free write.
+  void set_groups(meas::GroupMask mask, meas::CpuClock* clock = nullptr) {
+    proc_.ctl_set_groups(mask, clock);
+  }
   meas::GroupMask groups() const { return proc_.ctl_get_groups(); }
+
+  /// Seq-preserving trace-ring resize across the scope (and the default for
+  /// future spawns).  Returns the number of rings resized.
+  std::size_t set_trace_capacity(std::size_t capacity,
+                                 meas::Scope scope = meas::Scope::All,
+                                 std::span<const meas::Pid> pids = {},
+                                 meas::CpuClock* clock = nullptr) {
+    return proc_.ctl_set_trace_capacity(capacity, scope, pids, clock);
+  }
+  std::size_t trace_capacity() const { return proc_.ctl_trace_capacity(); }
+
   meas::OverheadReport overhead() const { return proc_.ctl_overhead(); }
 
  private:

@@ -1,13 +1,13 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
-#include <barrier>
 #include <cassert>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
-#include <thread>
+#include <utility>
 
 namespace ktau::sim {
 
@@ -158,58 +158,109 @@ void ShardedEngine::drive(bool bounded, TimeNs t) {
   drive_parallel(bounded, t);
 }
 
-void ShardedEngine::drive_parallel(bool bounded, TimeNs t) {
-  const unsigned n = shards();
-  bool done = false;
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+// One barrier arrival per epoch.  The completion step runs single-threaded
+// while every participant is blocked: it commits the window's outboxes,
+// publishes the next horizon, and decides termination.  std::barrier
+// sequences the completion before any participant resumes, so workers read
+// epoch_h_ / drive_done_ without further synchronization.
+void ShardedEngine::epoch_completion() noexcept {
+  try {
+    bool error = false;
+    {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      error = static_cast<bool>(first_error_);
+    }
+    drive_done_ = error || !begin_epoch(drive_bounded_, drive_t_);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+    drive_done_ = true;
+  }
+}
 
-  // One barrier per epoch.  The completion step runs single-threaded while
-  // every worker is blocked: it commits the windows' outboxes, publishes
-  // the next horizon, and decides termination.  std::barrier sequences the
-  // completion before any worker resumes, so workers read epoch_h_ /
-  // done without further synchronization.
-  auto on_epoch = [&]() noexcept {
+void ShardedEngine::epoch_loop(unsigned s) {
+  for (;;) {
+    epoch_barrier_->arrive_and_wait();
+    if (drive_done_) return;
     try {
-      bool error = false;
-      {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        error = static_cast<bool>(first_error);
-      }
-      done = error || !begin_epoch(bounded, t);
+      engines_[s]->run_events_below(epoch_h_, epoch_inclusive_);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!first_error) first_error = std::current_exception();
-      done = true;
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Keep arriving at the barrier so the other shards can drain out;
+      // the next completion step sees the error and terminates the drive.
     }
-  };
-  std::barrier<decltype(on_epoch)> epoch_barrier(n, on_epoch);
+  }
+}
 
-  auto worker = [&](unsigned s) {
-    for (;;) {
-      epoch_barrier.arrive_and_wait();
-      if (done) return;
-      try {
-        engines_[s]->run_events_below(epoch_h_, epoch_inclusive_);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Keep arriving at the barrier so the other shards can drain out;
-        // the next completion step sees the error and terminates the run.
-      }
+void ShardedEngine::worker_thread(unsigned s) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] { return shutdown_ || drive_seq_ != seen; });
+      if (shutdown_) return;
+      seen = drive_seq_;
+      // pool_mutex_ publishes this drive's parameters (drive_bounded_,
+      // drive_t_, drive_done_): the driving thread wrote them before
+      // bumping drive_seq_ under the same lock.
     }
-  };
+    epoch_loop(s);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      ++idle_workers_;
+    }
+    pool_cv_.notify_all();
+  }
+}
 
-  // Workers live for one drive() call.  Callers chunk run_until at multi-
-  // second granularity (thousands of epochs per chunk), so spawn cost is
-  // noise; revisit with a persistent pool if chunking becomes finer.
-  std::vector<std::thread> pool;
-  pool.reserve(n - 1);
-  for (unsigned s = 1; s < n; ++s) pool.emplace_back(worker, s);
-  worker(0);
-  for (auto& th : pool) th.join();
+void ShardedEngine::ensure_pool() {
+  if (!pool_.empty()) return;
+  const unsigned n = shards();
+  epoch_barrier_ = std::make_unique<std::barrier<OnEpoch>>(
+      static_cast<std::ptrdiff_t>(n), OnEpoch{this});
+  pool_.reserve(n - 1);
+  for (unsigned s = 1; s < n; ++s) {
+    pool_.emplace_back(&ShardedEngine::worker_thread, this, s);
+  }
+}
+
+void ShardedEngine::drive_parallel(bool bounded, TimeNs t) {
+  ensure_pool();
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    drive_bounded_ = bounded;
+    drive_t_ = t;
+    drive_done_ = false;
+    first_error_ = nullptr;
+    idle_workers_ = 0;
+    ++drive_seq_;  // the handoff: workers wake on the bump
+  }
+  pool_cv_.notify_all();
+  // The driving thread is shard 0's worker for this drive.
+  epoch_loop(0);
+  // Wait for every worker to park again before returning: the next drive
+  // resets drive_done_ and re-publishes parameters, which must not race a
+  // worker still observing this drive's termination.
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    pool_cv_.wait(lock, [&] { return idle_workers_ == pool_.size(); });
+  }
   running_ = false;
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error_) {
+    std::rethrow_exception(std::exchange(first_error_, nullptr));
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  // drive_parallel returns only after every worker is parked, so at this
+  // point the pool is idle in the cv wait (or was never spawned).
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    shutdown_ = true;
+  }
+  pool_cv_.notify_all();
+  for (auto& th : pool_) th.join();
 }
 
 }  // namespace ktau::sim

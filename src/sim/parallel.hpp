@@ -30,8 +30,13 @@
 // mailbox_grows().
 #pragma once
 
+#include <barrier>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -47,6 +52,7 @@ class ShardedEngine {
   /// minimum cross-shard delay every commit could land inside the current
   /// window, so the only safe partition is none.
   ShardedEngine(unsigned shards, TimeNs lookahead);
+  ~ShardedEngine();
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
 
@@ -134,6 +140,24 @@ class ShardedEngine {
   void drive(bool bounded, TimeNs t);
   void drive_parallel(bool bounded, TimeNs t);
 
+  /// Barrier completion step: runs single-threaded while every worker is
+  /// blocked; commits mailboxes, publishes the next window, decides
+  /// termination of the current drive.
+  void epoch_completion() noexcept;
+  struct OnEpoch {
+    ShardedEngine* self;
+    void operator()() const noexcept { self->epoch_completion(); }
+  };
+
+  /// Lazily spawns the persistent n-1 worker threads (first parallel drive).
+  void ensure_pool();
+  /// A parked worker's lifetime loop: wait for a drive handoff, run epochs
+  /// for shard `s` until the drive completes, report idle, re-park.
+  void worker_thread(unsigned s);
+  /// One drive's epoch loop for shard `s` (run by workers and, for shard 0,
+  /// by the driving thread itself).
+  void epoch_loop(unsigned s);
+
   TimeNs lookahead_ = 0;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::vector<Outbox> outbox_;        // S*S, indexed src * S + dst
@@ -147,6 +171,33 @@ class ShardedEngine {
   // epoch barrier; serial mode reads them directly).
   TimeNs epoch_h_ = 0;
   bool epoch_inclusive_ = false;
+
+  // -- persistent worker pool (parallel epoched mode) ----------------------
+  //
+  // Callers chunk run_until() at fine granularity (chiba drives 5-sim-second
+  // windows), so workers persist across drive() calls instead of being
+  // respawned per chunk.  Handoff protocol: the driving thread publishes the
+  // drive parameters, bumps drive_seq_ under pool_mutex_, and participates
+  // as shard 0; parked workers wake on the bump, run the epoch loop, then
+  // report idle.  The drive ends only after every worker is parked again, so
+  // the next drive's state reset cannot race a worker still draining out.
+  // All epoch-level synchronization is unchanged (same barrier, same
+  // completion step) — which is why stdout/JSON stay byte-identical for
+  // every shard count.
+  std::vector<std::thread> pool_;
+  std::unique_ptr<std::barrier<OnEpoch>> epoch_barrier_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::uint64_t drive_seq_ = 0;     // bumped per parallel drive
+  std::size_t idle_workers_ = 0;    // workers parked between drives
+  bool shutdown_ = false;           // set by the destructor
+  // Per-drive state (published before the handoff, read by workers and the
+  // completion step within the drive).
+  bool drive_bounded_ = false;
+  TimeNs drive_t_ = 0;
+  bool drive_done_ = false;
+  std::exception_ptr first_error_;
+  std::mutex error_mutex_;
 };
 
 }  // namespace ktau::sim
