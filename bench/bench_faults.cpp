@@ -14,6 +14,7 @@
 #include <cstring>
 #include <vector>
 
+#include "analysis/netstat.hpp"
 #include "experiments/faults.hpp"
 #include "experiments/harness.hpp"
 
@@ -41,12 +42,18 @@ std::vector<TrialSpec> faults_trials(const ScenarioParams& p) {
   cfg.seed = p.seed(cfg.seed);
   auto run = [cfg] {
     auto res = run_fault_scenario(cfg);
+    // Per-node network pathology, machine-readable (aggregated here; the
+    // per-node rows stay in the payload for the report).
+    const auto net = analysis::net_counter_totals(res.faulted.net_nodes);
     return trial_result(
         std::move(res),
         {{"clean_exec_sec", res.clean.exec_sec},
          {"faulted_exec_sec", res.faulted.exec_sec},
          {"victim_interference_sec", res.victim_interference_sec},
-         {"measured_steal_sec", res.measured_steal_sec}});
+         {"measured_steal_sec", res.measured_steal_sec},
+         {"net_retransmits", static_cast<double>(net.retransmits)},
+         {"net_rx_penalized_segments", static_cast<double>(net.rx_penalized)},
+         {"net_read_errors", static_cast<double>(net.read_errors)}});
   };
   return {{"pair_a", run}, {"pair_b", run}};
 }
@@ -70,8 +77,14 @@ void faults_report(Report& rep, const ScenarioParams&,
              "%.3f s\n",
              a.victim, a.victim_interference_sec,
              a.max_other_interference_sec);
-  rep.printf("steal time: injected %.3f s, measured %.3f s\n\n",
+  rep.printf("steal time: injected %.3f s, measured %.3f s\n",
              a.injected_steal_sec, a.measured_steal_sec);
+  const auto net = analysis::net_counter_totals(a.faulted.net_nodes);
+  rep.printf("net pathology: %llu retransmits, %llu cache-penalized rx "
+             "segments, %llu read errors\n\n",
+             static_cast<unsigned long long>(net.retransmits),
+             static_cast<unsigned long long>(net.rx_penalized),
+             static_cast<unsigned long long>(net.read_errors));
 
   rep.gate("same seed => identical fault schedule",
            same_totals(a.faulted.fault_totals, b.faulted.fault_totals) &&

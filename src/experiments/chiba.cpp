@@ -14,6 +14,7 @@ namespace ktau::expt {
 namespace {
 
 int g_default_sim_threads = 1;
+knet::StackKind g_default_stack = knet::StackKind::Fixed;
 
 }  // namespace
 
@@ -22,6 +23,10 @@ void set_default_sim_threads(int threads) {
 }
 
 int default_sim_threads() { return g_default_sim_threads; }
+
+void set_default_stack_model(knet::StackKind kind) { g_default_stack = kind; }
+
+knet::StackKind default_stack_model() { return g_default_stack; }
 
 namespace {
 
@@ -139,6 +144,7 @@ BuiltRun build(const ChibaRunConfig& cfg) {
   // lookahead the cluster's shard plan is built on.
   knet::NetConfig net;
   net.seed = cfg.seed * 777767ULL + 13;
+  net.stack = cfg.stack.value_or(default_stack_model());
   if (cfg.tcp_cache_penalty_override) {
     net.tcp_rcv_cache_penalty = *cfg.tcp_cache_penalty_override;
   }
@@ -377,6 +383,7 @@ ChibaRunResult run_chiba(const ChibaRunConfig& cfg) {
   result.overhead_stop_min = stop_oh.empty() ? 0.0 : stop_oh.min();
 
   if (run.faults != nullptr) result.fault_totals = run.faults->totals();
+  result.net_nodes = analysis::net_node_counters(*run.fabric);
   result.node_interference_sec.reserve(snaps.size());
   for (const auto& snap : snaps) {
     result.node_interference_sec.push_back(

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/netstat.hpp"
 #include "apps/lu.hpp"
 #include "apps/sweep3d.hpp"
 #include "kernel/cluster.hpp"
@@ -63,6 +64,14 @@ std::string perturb_name(PerturbMode m);
 void set_default_sim_threads(int threads);
 int default_sim_threads();
 
+/// Process-wide default for ChibaRunConfig::stack (what the `--stack` CLI
+/// flag sets, before any scenarios run).  Unlike --sim-threads this DOES
+/// change simulation results — it selects the TCP stack model
+/// (DESIGN.md §13); the default, StackKind::Fixed, reproduces the
+/// historical behaviour byte for byte.
+void set_default_stack_model(knet::StackKind kind);
+knet::StackKind default_stack_model();
+
 struct ChibaRunConfig {
   ChibaConfig config = ChibaConfig::C128x1;
   Workload workload = Workload::LU;
@@ -74,6 +83,10 @@ struct ChibaRunConfig {
   /// default, see set_default_sim_threads).  Any value produces
   /// bit-identical results; clamped to the node count.
   int sim_threads = 0;
+  /// TCP stack model for every node (DESIGN.md §13).  Unset = the process
+  /// default (see set_default_stack_model), which is StackKind::Fixed
+  /// unless `--stack` says otherwise.
+  std::optional<knet::StackKind> stack;
   /// Scales iteration counts (and hence run length / cost) relative to the
   /// paper-scale workload definitions.  1.0 reproduces ~300-500 s runs.
   double scale = 1.0;
@@ -146,6 +159,10 @@ struct ChibaRunResult {
   /// (analysis::interference_seconds) — the kernel-wide-view signal that
   /// makes degraded nodes stand out.  Indexed by node id.
   std::vector<double> node_interference_sec;
+  /// Per-node network-stack counters (retransmits, penalized receives,
+  /// read errors, NIC occupancy), harvested from the fabric before
+  /// teardown.  Indexed by node id.
+  std::vector<analysis::NetNodeCounters> net_nodes;
 };
 
 /// Builds, runs, and harvests one Chiba experiment.

@@ -1,0 +1,88 @@
+// Congestion scenario family (DESIGN.md §13): small purpose-built clusters
+// that stress one network bottleneck each, run under every TCP stack model,
+// with the stall attributed through the merged kernel view.
+//
+//   Incast     — 8 senders firing synchronized bursts at one sink over a
+//                lossy fabric.  The recovery path differs per model: Fixed
+//                stalls on the retransmission timer (tcp_retransmit_timer),
+//                Reno recovers by dup-ACK fast retransmit
+//                (tcp_fast_retransmit), RACK by its reordering-window timer
+//                (tcp_rack_reo_timer) fed from the pacing queue.
+//   Checkpoint — 8 compute nodes dump checkpoint state to one IO node over
+//                a loss-free fabric.  The stall is pure NIC serialization:
+//                each sender's egress occupancy must match payload / line
+//                rate, and the IO node's softirq backlog dominates.
+//   SharedLink — a bulk transfer and a latency-sensitive ping/echo task
+//                share one node's NIC, with wire reordering.  Fixed queues
+//                the whole bulk send on the NIC, so the ping convoy stalls
+//                behind megabytes of egress; the windowed models bound the
+//                queue by cwnd.  Reno's dup-ACK detector misreads the
+//                reordering (spurious retransmits); RACK absorbs it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/netstat.hpp"
+#include "knet/config.hpp"
+#include "sim/fault.hpp"
+
+namespace ktau::expt {
+
+enum class CongestionPattern { Incast, Checkpoint, SharedLink };
+
+std::string pattern_name(CongestionPattern p);
+
+struct CongestionConfig {
+  CongestionPattern pattern = CongestionPattern::Incast;
+  knet::StackKind stack = knet::StackKind::Fixed;
+  /// Scales burst rounds / payload sizes relative to the paper-scale run.
+  double scale = 1.0;
+  std::uint64_t seed = 11;
+  /// Event-queue shards (0 = the process default, see
+  /// set_default_sim_threads).  Byte-identical results for any value.
+  int sim_threads = 0;
+};
+
+struct CongestionResult {
+  /// Last workload task exit (simulated seconds) — the job completion the
+  /// congestion stall inflates.
+  double exec_sec = 0;
+  std::uint64_t engine_events = 0;
+
+  // Loss-recovery attribution: inclusive seconds of each recovery path's
+  // instrumentation point, summed over every context (tasks + swapper) of
+  // every node's snapshot.  Exactly one of these should carry the recovery
+  // under a given model; the others stay zero.
+  double retx_timer_sec = 0;  // tcp_retransmit_timer (Fixed)
+  double fast_retx_sec = 0;   // tcp_fast_retransmit  (Reno)
+  double pacing_sec = 0;      // tcp_pacing_timer     (RACK egress)
+  double reo_sec = 0;         // tcp_rack_reo_timer   (RACK recovery)
+
+  // Receive-side pressure: softirq / IRQ inclusive seconds at the sink
+  // (node 0) vs the worst sender node.
+  double sink_softirq_sec = 0;
+  double sink_irq_sec = 0;
+  double max_sender_softirq_sec = 0;
+
+  /// NIC egress occupancy summed over the sending side's nodes, and the
+  /// lower bound the line rate imposes on it (payload / bandwidth).
+  double sender_nic_tx_sec = 0;
+  double ideal_wire_sec = 0;
+
+  /// SharedLink only: when the ping/echo task finished its rounds.
+  double ping_done_sec = 0;
+
+  /// Payload bytes that actually landed in receiver sockets.
+  std::uint64_t bytes_received = 0;
+  /// Payload bytes the workload was supposed to deliver.
+  std::uint64_t bytes_expected = 0;
+
+  analysis::NetNodeCounters net;  // cluster-wide stack counter totals
+  sim::FaultPlan::Totals fault_totals;
+};
+
+/// Builds, runs, and harvests one congestion pattern under one stack model.
+CongestionResult run_congestion(const CongestionConfig& cfg);
+
+}  // namespace ktau::expt

@@ -263,6 +263,13 @@ bool parse_matrix_args(int argc, char** argv, MatrixOptions& opt,
         if (error.empty()) error = "--sim-threads expects a positive integer";
         return false;
       }
+    } else if (arg == "--stack") {
+      const char* v = next_value("--stack");
+      if (v == nullptr) return false;
+      if (!knet::parse_stack_kind(v, opt.stack)) {
+        error = "--stack expects one of: fixed, reno, rack";
+        return false;
+      }
     } else if (arg == "--seed") {
       const char* v = next_value("--seed");
       if (v == nullptr) return false;
@@ -308,10 +315,11 @@ void list_scenarios(std::ostream& out) {
 
 int run_matrix(const MatrixOptions& opt, std::ostream& out,
                std::ostream& info) {
-  // Install the simulation-thread default before any trial closure runs so
-  // every ChibaRunConfig built by the scenarios inherits it.  Set once, up
-  // front, from the single-threaded caller.
+  // Install the simulation-thread and stack-model defaults before any trial
+  // closure runs so every ChibaRunConfig built by the scenarios inherits
+  // them.  Set once, up front, from the single-threaded caller.
   set_default_sim_threads(opt.sim_threads);
+  set_default_stack_model(opt.stack);
 
   // ---- select + decompose -------------------------------------------------
   std::vector<Unit> units;
@@ -324,6 +332,7 @@ int run_matrix(const MatrixOptions& opt, std::ostream& out,
       u.params.repeat = repeat;
       u.params.salt = salt_for(opt.seed_set, opt.seed, repeat);
       u.params.sim_threads = opt.sim_threads;
+      u.params.stack = opt.stack;
       u.trials = spec->trials(u.params);
       u.results.resize(u.trials.size());
       u.errors.resize(u.trials.size());
@@ -453,6 +462,9 @@ int harness_main(int argc, char** argv, const char* default_filter) {
         "                worker threads *inside* each simulation (the\n"
         "                conservative parallel scheduler's shard count;\n"
         "                default 1; output is byte-identical for any N)\n"
+        "  --stack M     TCP stack model: fixed (default, historical\n"
+        "                behaviour), reno, or rack (DESIGN.md §13).  Unlike\n"
+        "                the knobs above this changes simulation results.\n"
         "  --seed S      base seed override (decorrelates all trials)\n"
         "  --json PATH   write the machine-readable result document\n"
         "  --filter A,B  run only scenarios matching a name/substring\n"

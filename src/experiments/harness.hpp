@@ -53,6 +53,12 @@ struct ScenarioParams {
   /// parallel scheduler shard count).  Byte-identity contract: output is
   /// identical for every value.
   int sim_threads = 1;
+  /// TCP stack model (`--stack`; DESIGN.md §13).  Unlike sim_threads this
+  /// DOES change simulation results; the default, Fixed, reproduces the
+  /// historical behaviour byte for byte.  Scenarios that sweep models
+  /// themselves (congestion) ignore it and set ChibaRunConfig::stack
+  /// explicitly per trial.
+  knet::StackKind stack = knet::StackKind::Fixed;
 
   /// Derives the seed a trial should use from the seed it historically
   /// used.  Pure function of (salt, historical) — documented in DESIGN.md
@@ -164,6 +170,7 @@ struct MatrixOptions {
   int trials = 1;                   // repetitions per scenario
   int jobs = 1;                     // worker threads for trial execution
   int sim_threads = 1;              // event-queue shards inside each trial
+  knet::StackKind stack = knet::StackKind::Fixed;  // --stack model
   std::uint64_t seed = 0;           // user seed; meaningful iff seed_set
   bool seed_set = false;
   std::string json_path;            // empty = no JSON emission

@@ -8,10 +8,38 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "sim/time.hpp"
 
 namespace ktau::knet {
+
+/// Which TCP stack model drives the per-segment decisions of every node
+/// stack on the fabric (DESIGN.md §13).  Mirrors FreeBSD's interchangeable
+/// `tcp_stacks/`: one shell (`NodeStack`), pluggable behaviour.
+enum class StackKind {
+  /// The historical model: immediate egress of every segment, no window,
+  /// wire loss recovered by an exponential-backoff retransmission timer.
+  /// This is the default and is byte-identical to the pre-seam stack.
+  Fixed,
+  /// Reno-style window-limited model: cwnd (slow start + AIMD) bounds the
+  /// bytes in flight, delivery-clocked by a real reverse ACK path; wire
+  /// loss recovered by duplicate-ACK fast retransmit (cwnd halves), and a
+  /// reordered segment triggers a *spurious* fast retransmit — Reno cannot
+  /// tell reordering from loss.
+  Reno,
+  /// RACK-style model: the same window machinery, but egress is released
+  /// through a pacing timer and loss recovery is purely time-based (a RACK
+  /// reordering-window timer), which makes it reordering-tolerant and
+  /// avoids both dup-ACK spuriousness and RTO-floor stalls.
+  Rack,
+};
+
+/// CLI / display name ("fixed", "reno", "rack").
+std::string_view stack_kind_name(StackKind k);
+
+/// Parses a --stack value; returns false on unknown names.
+bool parse_stack_kind(std::string_view name, StackKind& out);
 
 struct NetConfig {
   /// Link bandwidth in bytes/second (100 Mb/s Fast Ethernet).
@@ -58,6 +86,46 @@ struct NetConfig {
 
   /// Seed for latency jitter.
   std::uint64_t seed = 0xFEED;
+
+  // -- stack model selection + windowed-model parameters ---------------------
+  //
+  // Everything below is inert under StackKind::Fixed: no extra events are
+  // registered, no extra cycles charged, no extra RNG draws — the Fixed
+  // stack is byte-identical to the pre-seam NodeStack (DESIGN.md §13).
+
+  /// Which TCP stack model every node on the fabric runs.
+  StackKind stack = StackKind::Fixed;
+
+  /// Initial congestion window, in segments (Reno / RACK).
+  std::uint32_t init_cwnd_segments = 10;
+
+  /// Wire size of a pure ACK (serialized on the reverse NIC like data).
+  std::uint32_t ack_wire_bytes = 60;
+
+  /// tcp_ack_rcv processing at the sender, per ACK (path cost, softirq
+  /// context — the receive-side kernel work ACK clocking creates).
+  std::uint64_t ack_rcv_cycles = 4500;
+
+  /// Building + queueing the ACK on the receiver, per data segment (path
+  /// cost charged inside net_rx_action).
+  std::uint64_t ack_tx_cycles = 1800;
+
+  /// tcp_write_xmit work when ACK processing releases a queued segment
+  /// (path cost in the ACK's softirq context).
+  std::uint64_t window_tx_cycles = 2000;
+
+  /// Fast-retransmit path cost (Reno), on top of tcp_send_base.
+  std::uint64_t fast_retx_cycles = 9000;
+
+  /// RACK reordering-window timer handler cost per recovery fire.
+  std::uint64_t rack_reo_cycles = 6000;
+
+  /// Pacing timer handler cost per released segment (RACK).
+  std::uint64_t pacing_timer_cycles = 1200;
+
+  /// Pacing interval between released segments (RACK).  0 = derive the
+  /// line-rate interval, one full-size segment's serialization time.
+  sim::TimeNs pacing_interval = 0;
 };
 
 }  // namespace ktau::knet

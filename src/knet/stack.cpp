@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "kernel/cluster.hpp"
+#include "knet/stack_model.hpp"
 
 namespace ktau::knet {
 
@@ -48,7 +49,17 @@ NodeStack::NodeStack(Fabric& fabric, kernel::Machine& machine,
         ev_tcp_retx_, [this](Cpu& cpu) { retx_timer_irq(cpu); });
     retx_enabled_ = true;
   }
+
+  // The model registers its own instrumentation points in its constructor,
+  // after every shared event above — so the Fixed model (which registers
+  // nothing) leaves the registry identical to the pre-seam stack.
+  model_ = make_stack_model(*this, cfg_.stack);
+  if (model_->wants_acks()) {
+    ev_tcp_ack_rcv_ = ktau.map_event("tcp_ack_rcv", meas::Group::Net);
+  }
 }
+
+NodeStack::~NodeStack() = default;
 
 int NodeStack::alloc_socket() {
   sockets_.push_back(std::make_unique<Socket>());
@@ -94,12 +105,13 @@ SyscallStatus NodeStack::sys_send(Cpu& cpu, Task& /*t*/,
     if (loopback) {
       // Local delivery: straight into this CPU's softirq backlog; the
       // NET_RX softirq will run when this syscall's kernel path ends.
+      // No wire, so the stack model does not apply.
       backlog_[cpu.id].push_back(pkt);
       machine_.raise_softirq(cpu, kernel::kSoftirqNetRx);
     } else {
-      // Serialize on the shared NIC, then traverse the link.
-      const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, seg);
-      transmit(cpu.clock.cursor, m.socket, pkt, arrival, 0);
+      // The model decides: immediate egress (Fixed, Reno-within-window)
+      // or queueing behind the window / pacing timer.
+      model_->segment_out(cpu, m.socket, pkt);
     }
     sock.bytes_sent += seg;
   }
@@ -115,6 +127,7 @@ sim::TimeNs NodeStack::egress_arrival(sim::TimeNs ready, std::uint32_t bytes) {
   const sim::TimeNs tx_time = static_cast<sim::TimeNs>(
       static_cast<double>(bytes) / cfg_.bandwidth_bps * sim::kSecond);
   nic_free_at_ = std::max(nic_free_at_, ready) + tx_time;
+  nic_tx_ns_ += tx_time;
   const sim::TimeNs jitter = static_cast<sim::TimeNs>(
       jitter_rng_.exponential(static_cast<double>(cfg_.latency_jitter_mean)));
   return nic_free_at_ + cfg_.latency + jitter;
@@ -122,20 +135,18 @@ sim::TimeNs NodeStack::egress_arrival(sim::TimeNs ready, std::uint32_t bytes) {
 
 void NodeStack::transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
                          sim::TimeNs arrival, std::uint32_t tries) {
-  if (retx_enabled_) {
+  if (retx_enabled_ && !pkt.is_ack && !pkt.dup) {
+    // ACKs are fate-exempt (cumulative-ACK robustness; see Packet::is_ack)
+    // and so are spurious-retransmit duplicates — they model recovery
+    // *behaviour*, not a second loss surface.
     const sim::FaultConfig& fc = faults_->config();
     switch (faults_->segment_fate(machine_.id())) {
       case sim::FaultPlan::SegmentFate::Drop:
         if (tries < fc.max_retx) {
-          // Lost on the wire.  The sender's retransmission timer fires one
-          // (backed-off) RTO after the send; the timer interrupt requeues
-          // the retained skb through the normal egress path.
-          const sim::TimeNs rto = fc.rto << std::min<std::uint32_t>(tries, 6);
-          machine_.engine().schedule_at(
-              send_time + rto, [this, src_fd, pkt, tries] {
-                retx_queue_.push_back(PendingRetx{pkt, src_fd, tries + 1});
-                machine_.raise_device_irq(retx_line_);
-              });
+          // Lost on the wire.  The model owns loss detection: when the
+          // sender notices and how the retransmission is scheduled is what
+          // distinguishes the stack models (DESIGN.md §13).
+          model_->wire_lost(send_time, src_fd, pkt, tries);
           return;
         }
         // Retry budget exhausted: deliver unconditionally so extreme drop
@@ -143,6 +154,7 @@ void NodeStack::transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
         break;
       case sim::FaultPlan::SegmentFate::Reorder:
         arrival += fc.reorder_extra;
+        model_->wire_reordered(send_time, src_fd, pkt);
         break;
       case sim::FaultPlan::SegmentFate::Deliver:
         break;
@@ -158,6 +170,19 @@ void NodeStack::transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
       [&peer_stack, pkt] { peer_stack.deliver(pkt); });
 }
 
+void NodeStack::schedule_timer_retx(sim::TimeNs when, int src_fd,
+                                    const Packet& pkt, std::uint32_t tries) {
+  machine_.engine().schedule_at(when, [this, src_fd, pkt, tries] {
+    retx_queue_.push_back(PendingRetx{pkt, src_fd, tries + 1});
+    machine_.raise_device_irq(retx_line_);
+  });
+}
+
+void NodeStack::count_retransmit() {
+  ++retransmits_;
+  ++faults_->node_totals(machine_.id()).retransmits;
+}
+
 void NodeStack::retx_timer_irq(Cpu& cpu) {
   // Runs in interrupt context; deliver_irq has already charged the do_IRQ
   // prologue and opened the tcp_retransmit_timer probe pair, so everything
@@ -167,8 +192,7 @@ void NodeStack::retx_timer_irq(Cpu& cpu) {
     const PendingRetx rt = retx_queue_.front();
     retx_queue_.pop_front();
     cpu.clock.consume_cycles(cfg_.tcp_send_base);
-    ++retransmits_;
-    ++faults_->node_totals(machine_.id()).retransmits;
+    count_retransmit();
     const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, rt.pkt.bytes);
     transmit(cpu.clock.cursor, rt.src_fd, rt.pkt, arrival, rt.tries);
   }
@@ -283,6 +307,23 @@ void NodeStack::nic_irq(Cpu& cpu) {
   machine_.raise_softirq(cpu, kernel::kSoftirqNetRx);
 }
 
+void NodeStack::emit_ack(Cpu& cpu, const Socket& sock, std::uint32_t acked) {
+  // Building + queueing the cumulative ACK: path cost inside net_rx_action.
+  cpu.clock.consume_cycles(cfg_.ack_tx_cycles);
+  Packet ack;
+  ack.dst_fd = sock.peer_fd;
+  ack.bytes = acked;
+  ack.is_ack = true;
+  // The ACK serializes on this node's NIC like any frame, then traverses
+  // the link; arrival >= now + latency >= now + lookahead, so the sharded
+  // lookahead contract holds for the reverse path too.
+  const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, cfg_.ack_wire_bytes);
+  NodeStack& peer_stack = fabric_.stack(sock.peer_node);
+  fabric_.cluster().cross_schedule(
+      machine_.id(), sock.peer_node, arrival,
+      [&peer_stack, ack] { peer_stack.deliver(ack); });
+}
+
 void NodeStack::net_rx_softirq(Cpu& cpu) {
   auto& backlog = backlog_[cpu.id];
   if (backlog.empty()) return;
@@ -291,6 +332,17 @@ void NodeStack::net_rx_softirq(Cpu& cpu) {
     const Packet p = backlog.front();
     backlog.pop_front();
     Socket& sock = socket(p.dst_fd);
+
+    if (p.is_ack) {
+      // Sender side of the windowed models' ACK clock: account the ACK,
+      // open the window, release queued segments (all in softirq context).
+      machine_.kprobe_entry(cpu, ev_tcp_ack_rcv_);
+      cpu.clock.consume_cycles(cfg_.ack_rcv_cycles);
+      machine_.kprobe_exit(cpu, ev_tcp_ack_rcv_);
+      ++acks_received_;
+      model_->ack_in(cpu, p.dst_fd, p.bytes);
+      continue;
+    }
 
     machine_.kprobe_entry(cpu, ev_tcp_v4_rcv_);
     std::uint64_t cost = cfg_.tcp_rcv_base + copy_cycles(p.bytes);
@@ -305,10 +357,15 @@ void NodeStack::net_rx_softirq(Cpu& cpu) {
     machine_.kprobe_exit(cpu, ev_tcp_v4_rcv_);
     machine_.katomic(cpu, ev_net_rx_bytes_, static_cast<double>(p.bytes));
 
-    sock.rx_available += p.bytes;
-    sock.bytes_received += p.bytes;
     ++sock.segments_received;
     ++rx_segments_;
+    if (p.dup) {
+      // Duplicate payload from a spurious retransmission: full kernel cost
+      // above, but the bytes are discarded — no credit, no wake, no ACK.
+      continue;
+    }
+    sock.rx_available += p.bytes;
+    sock.bytes_received += p.bytes;
 
     if (sock.waiter != nullptr && sock.rx_available >= sock.wanted) {
       Task* w = sock.waiter;
@@ -319,6 +376,10 @@ void NodeStack::net_rx_softirq(Cpu& cpu) {
         machine_.poke_spinner(*w, cpu.clock.cursor);
       }
     }
+
+    if (model_->wants_acks() && sock.peer_node != machine_.id()) {
+      emit_ack(cpu, sock, p.bytes);
+    }
   }
   machine_.kprobe_exit(cpu, ev_net_rx_action_);
 }
@@ -328,7 +389,7 @@ void NodeStack::net_rx_softirq(Cpu& cpu) {
 // ---------------------------------------------------------------------------
 
 Fabric::Fabric(kernel::Cluster& cluster, NetConfig cfg, sim::FaultPlan* faults)
-    : cluster_(cluster), cfg_(cfg), rng_(cfg.seed), faults_(faults) {
+    : cluster_(cluster), cfg_(cfg), faults_(faults) {
   if (cluster.sharded() && cluster.lookahead() > cfg_.latency) {
     // The conservative scheduler's safety argument is "no cross-node effect
     // lands sooner than one link latency"; a lookahead above the latency

@@ -2,20 +2,29 @@
 //
 // Data path (remote):
 //   sender:  sys_writev -> sock_sendmsg -> tcp_sendmsg per segment
+//            -> StackModel (window / pacing decision, DESIGN.md §13)
 //            -> NIC egress FIFO (serialization, shared per node)
 //            -> link latency (+ jitter) -> delivery event at receiver
 //   receiver: NIC rx ring -> hard IRQ (routed by the node's IRQ policy)
 //            -> NET_RX softirq -> net_rx_action -> tcp_v4_rcv per segment
-//            -> socket receive queue -> wake blocked reader.
+//            -> socket receive queue -> wake blocked reader
+//            [-> per-segment ACK back to the sender, if the model asks].
 //
 // Data path (loopback, two ranks on one node): tcp_sendmsg feeds the local
 // CPU's softirq backlog directly; the NET_RX softirq then runs when the
 // send syscall's kernel path ends — which is why kernel receive activity
-// appears *inside* MPI_Send in merged traces (paper Figure 2-E).
+// appears *inside* MPI_Send in merged traces (paper Figure 2-E).  Loopback
+// bypasses the stack model: there is no wire, so no window, pacing, or
+// loss applies.
 //
 // Every kernel routine on these paths is a KTAU instrumentation point, and
 // tcp_v4_rcv pays a cache penalty when it runs on a different CPU than the
 // consuming task last ran on (the SMP effect behind Figure 10).
+//
+// `NodeStack` is the machine-facing shell; the per-segment decisions (when
+// a segment goes on the wire, in-flight limits, loss detection and
+// retransmission scheduling) belong to the pluggable `StackModel`
+// (stack_model.hpp), selected by `NetConfig::stack`.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +44,16 @@ namespace ktau::knet {
 struct Packet {
   int dst_fd = -1;
   std::uint32_t bytes = 0;
+  /// Pure ACK (windowed models only): `bytes` is the byte count being
+  /// cumulatively acknowledged, not payload.  ACKs bypass the wire-fault
+  /// fate — with cumulative ACKs a lost ACK is absorbed by the next one,
+  /// and the per-segment ACKs here substitute for that, so fate-exempting
+  /// them keeps the window accounting exact.
+  bool is_ack = false;
+  /// Duplicate payload from a spurious retransmission: the receiver charges
+  /// the full tcp_v4_rcv kernel cost but discards the bytes (no credit, no
+  /// ACK) — kernel work without progress, which is the point.
+  bool dup = false;
 };
 
 /// One endpoint of a connected stream socket.
@@ -59,6 +78,7 @@ struct Socket {
 };
 
 class Fabric;
+class StackModel;
 
 /// Per-node network stack; implements the kernel's NetStack interface and
 /// installs itself on the machine.
@@ -69,6 +89,7 @@ class NodeStack final : public kernel::NetStack {
   /// byte-identical to a fault-free build.
   NodeStack(Fabric& fabric, kernel::Machine& machine, const NetConfig& cfg,
             sim::FaultPlan* faults);
+  ~NodeStack() override;
 
   NodeStack(const NodeStack&) = delete;
   NodeStack& operator=(const NodeStack&) = delete;
@@ -92,15 +113,28 @@ class NodeStack final : public kernel::NetStack {
   Socket& socket(int fd) { return *sockets_.at(fd); }
   std::size_t socket_count() const { return sockets_.size(); }
 
+  /// The stack model driving this node's per-segment decisions.
+  StackModel& model() { return *model_; }
+  const StackModel& model() const { return *model_; }
+
   /// Total segments processed by tcp_v4_rcv on this node.
   std::uint64_t rx_segments() const { return rx_segments_; }
   /// Of those, how many paid the cross-CPU cache penalty.
   std::uint64_t rx_penalized() const { return rx_penalized_; }
   /// Segments this node retransmitted after simulated wire loss.
   std::uint64_t retransmits() const { return retransmits_; }
+  /// Retransmissions of segments that were never lost (Reno mistaking
+  /// reordering for loss); also counted in retransmits().
+  std::uint64_t spurious_retransmits() const { return spurious_retransmits_; }
+  /// Pure ACKs processed by this node's tcp_ack_rcv (windowed models).
+  std::uint64_t acks_received() const { return acks_received_; }
+  /// Cumulative NIC egress serialization time (wire occupancy) of this
+  /// node, in simulated ns.
+  sim::TimeNs nic_tx_ns() const { return nic_tx_ns_; }
 
  private:
   friend class Fabric;
+  friend class StackModel;
 
   /// A lost segment awaiting its retransmission-timer pass.
   struct PendingRetx {
@@ -122,11 +156,18 @@ class NodeStack final : public kernel::NetStack {
   /// NIC serialization + link traversal: updates nic_free_at_ and returns
   /// the segment's arrival time at the peer (includes the jitter draw).
   sim::TimeNs egress_arrival(sim::TimeNs ready, std::uint32_t bytes);
-  /// Puts one segment on the wire (applying the fault plan's drop/reorder
-  /// fate) or arms its retransmission timer.
+  /// Puts one segment on the wire, routing the fault plan's drop/reorder
+  /// fate through the stack model's loss-detection hooks.
   void transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
                 sim::TimeNs arrival, std::uint32_t tries);
+  /// Arms the shared retransmission timer: at `when` the segment joins
+  /// retx_queue_ and the tcp_retransmit_timer IRQ is raised.
+  void schedule_timer_retx(sim::TimeNs when, int src_fd, const Packet& pkt,
+                           std::uint32_t tries);
   void retx_timer_irq(kernel::Cpu& cpu);
+  /// Builds + sends the per-segment ACK for `sock` (windowed models).
+  void emit_ack(kernel::Cpu& cpu, const Socket& sock, std::uint32_t acked);
+  void count_retransmit();
   std::uint64_t copy_cycles(std::uint64_t bytes) const;
 
   Fabric& fabric_;
@@ -169,9 +210,18 @@ class NodeStack final : public kernel::NetStack {
   kernel::Machine::IrqLine retx_line_ = 0;
   std::deque<PendingRetx> retx_queue_;
 
+  /// The pluggable per-segment strategy (DESIGN.md §13).  Built last in the
+  /// constructor so model instrumentation points register after the shell's.
+  std::unique_ptr<StackModel> model_;
+  /// Registered only when the model wants ACKs (windowed models).
+  meas::EventId ev_tcp_ack_rcv_ = 0;
+
   std::uint64_t rx_segments_ = 0;
   std::uint64_t rx_penalized_ = 0;
   std::uint64_t retransmits_ = 0;
+  std::uint64_t spurious_retransmits_ = 0;
+  std::uint64_t acks_received_ = 0;
+  sim::TimeNs nic_tx_ns_ = 0;
 };
 
 /// Cluster-wide wiring: owns the per-node stacks and the links.
@@ -196,14 +246,12 @@ class Fabric {
 
   NodeStack& stack(kernel::NodeId n) { return *stacks_.at(n); }
   const NetConfig& config() const { return cfg_; }
-  sim::Rng& rng() { return rng_; }
   sim::FaultPlan* faults() { return faults_; }
   kernel::Cluster& cluster() { return cluster_; }
 
  private:
   kernel::Cluster& cluster_;
   NetConfig cfg_;
-  sim::Rng rng_;
   sim::FaultPlan* faults_;
   std::vector<std::unique_ptr<NodeStack>> stacks_;
 };

@@ -1,0 +1,361 @@
+#include "knet/stack_model.hpp"
+
+#include <stdexcept>
+
+#include "knet/stack.hpp"
+
+namespace ktau::knet {
+
+using kernel::Cpu;
+
+std::string_view stack_kind_name(StackKind k) {
+  switch (k) {
+    case StackKind::Fixed:
+      return "fixed";
+    case StackKind::Reno:
+      return "reno";
+    case StackKind::Rack:
+      return "rack";
+  }
+  return "?";
+}
+
+bool parse_stack_kind(std::string_view name, StackKind& out) {
+  if (name == "fixed") {
+    out = StackKind::Fixed;
+  } else if (name == "reno") {
+    out = StackKind::Reno;
+  } else if (name == "rack") {
+    out = StackKind::Rack;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// StackModel: bridge into the shell
+// ---------------------------------------------------------------------------
+
+kernel::Machine& StackModel::machine() { return stack_.machine_; }
+
+const NetConfig& StackModel::cfg() const { return stack_.cfg_; }
+
+const sim::FaultConfig* StackModel::fault_config() const {
+  return stack_.retx_enabled_ ? &stack_.faults_->config() : nullptr;
+}
+
+sim::TimeNs StackModel::egress_arrival(sim::TimeNs ready, std::uint32_t bytes) {
+  return stack_.egress_arrival(ready, bytes);
+}
+
+void StackModel::wire_transmit(sim::TimeNs send_time, int src_fd,
+                               const Packet& pkt, sim::TimeNs arrival,
+                               std::uint32_t tries) {
+  stack_.transmit(send_time, src_fd, pkt, arrival, tries);
+}
+
+void StackModel::schedule_timer_retx(sim::TimeNs when, int src_fd,
+                                     const Packet& pkt, std::uint32_t tries) {
+  stack_.schedule_timer_retx(when, src_fd, pkt, tries);
+}
+
+void StackModel::count_retransmit() { stack_.count_retransmit(); }
+
+void StackModel::count_spurious_retransmit() {
+  ++stack_.spurious_retransmits_;
+}
+
+sim::TimeNs StackModel::rtt_estimate() const {
+  const NetConfig& c = stack_.cfg_;
+  const auto serialization = static_cast<sim::TimeNs>(
+      static_cast<double>(c.segment_bytes) / c.bandwidth_bps * sim::kSecond);
+  return 2 * c.latency + serialization;
+}
+
+void StackModel::wire_reordered(sim::TimeNs /*send_time*/, int /*src_fd*/,
+                                const Packet& /*pkt*/) {}
+
+void StackModel::ack_in(Cpu& /*cpu*/, int /*fd*/, std::uint32_t /*bytes*/) {}
+
+// ---------------------------------------------------------------------------
+// FixedStackModel
+// ---------------------------------------------------------------------------
+
+void FixedStackModel::segment_out(Cpu& cpu, int fd, const Packet& pkt) {
+  // Immediate egress: serialize on the shared NIC, then traverse the link.
+  const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, pkt.bytes);
+  wire_transmit(cpu.clock.cursor, fd, pkt, arrival, 0);
+}
+
+void FixedStackModel::wire_lost(sim::TimeNs send_time, int src_fd,
+                                const Packet& pkt, std::uint32_t tries) {
+  // The sender's retransmission timer fires one (backed-off) RTO after the
+  // send; the timer interrupt requeues the retained skb through the normal
+  // egress path.
+  schedule_timer_retx(send_time + retx_backoff(fault_config()->rto, tries),
+                      src_fd, pkt, tries);
+}
+
+// ---------------------------------------------------------------------------
+// WindowedStackModel (Reno + RACK shared machinery)
+// ---------------------------------------------------------------------------
+
+WindowedStackModel::WindowedStackModel(NodeStack& stack) : StackModel(stack) {}
+
+std::uint64_t WindowedStackModel::mss() const { return cfg().segment_bytes; }
+
+WindowedStackModel::Conn& WindowedStackModel::conn(int fd) {
+  if (static_cast<std::size_t>(fd) >= conns_.size()) {
+    conns_.resize(static_cast<std::size_t>(fd) + 1);
+  }
+  Conn& c = conns_[static_cast<std::size_t>(fd)];
+  if (c.cwnd == 0) {
+    c.cwnd = std::max<std::uint64_t>(1, cfg().init_cwnd_segments) * mss();
+  }
+  return c;
+}
+
+std::uint64_t WindowedStackModel::in_flight(int fd) const {
+  const auto i = static_cast<std::size_t>(fd);
+  return i < conns_.size() ? conns_[i].in_flight : 0;
+}
+
+std::uint64_t WindowedStackModel::cwnd(int fd) const {
+  const auto i = static_cast<std::size_t>(fd);
+  return i < conns_.size() ? conns_[i].cwnd : 0;
+}
+
+void WindowedStackModel::segment_out(Cpu& cpu, int fd, const Packet& pkt) {
+  Conn& c = conn(fd);
+  if (c.queue.empty() && c.in_flight + pkt.bytes <= c.cwnd) {
+    c.in_flight += pkt.bytes;
+    admit(cpu, fd, pkt, 0);
+  } else {
+    // Window full (or earlier segments already waiting): the segment sits
+    // in the socket write queue until ACKs open the window.
+    c.queue.push_back(pkt);
+  }
+}
+
+void WindowedStackModel::ack_in(Cpu& cpu, int fd, std::uint32_t bytes) {
+  Conn& c = conn(fd);
+  c.in_flight -= std::min<std::uint64_t>(c.in_flight, bytes);
+  const std::uint64_t seg = mss();
+  if (c.cwnd < c.ssthresh) {
+    c.cwnd += seg;  // slow start: one segment per ACK
+  } else {
+    // Congestion avoidance: ~one segment per RTT.
+    c.cwnd += std::max<std::uint64_t>(1, seg * seg / c.cwnd);
+  }
+  pump(cpu, fd);
+}
+
+void WindowedStackModel::pump(Cpu& cpu, int fd) {
+  Conn& c = conn(fd);
+  while (!c.queue.empty() && c.in_flight + c.queue.front().bytes <= c.cwnd) {
+    const Packet pkt = c.queue.front();
+    c.queue.pop_front();
+    c.in_flight += pkt.bytes;
+    // tcp_write_xmit releasing queued data in the ACK's softirq context.
+    cpu.clock.consume_cycles(cfg().window_tx_cycles);
+    admit(cpu, fd, pkt, 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RenoStackModel
+// ---------------------------------------------------------------------------
+
+RenoStackModel::RenoStackModel(NodeStack& stack) : WindowedStackModel(stack) {
+  auto& m = machine();
+  ev_fast_retx_ = m.ktau().map_event("tcp_fast_retransmit", meas::Group::Net);
+  fast_line_ = m.register_irq(ev_fast_retx_,
+                              [this](Cpu& cpu) { fast_retx_irq(cpu); });
+}
+
+void RenoStackModel::admit(Cpu& cpu, int fd, const Packet& pkt,
+                           std::uint32_t tries) {
+  const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, pkt.bytes);
+  wire_transmit(cpu.clock.cursor, fd, pkt, arrival, tries);
+}
+
+void RenoStackModel::wire_lost(sim::TimeNs send_time, int src_fd,
+                               const Packet& pkt, std::uint32_t tries) {
+  if (tries == 0) {
+    // Fate-informed duplicate-ACK substitute: later segments of the flow
+    // keep arriving, so the third duplicate ACK lands about one RTT after
+    // this send and triggers a fast retransmit.
+    schedule_recovery(send_time + rtt_estimate(),
+                      PendingRecovery{pkt, src_fd, tries + 1, false, false});
+  } else {
+    // The retransmission was lost too: nothing new is reaching the
+    // receiver on this flow, so there is no dup-ACK clock left — fall back
+    // to the RTO with the Fixed model's bounded exponential backoff.
+    schedule_recovery(send_time + retx_backoff(fault_config()->rto, tries),
+                      PendingRecovery{pkt, src_fd, tries + 1, true, false});
+  }
+}
+
+void RenoStackModel::wire_reordered(sim::TimeNs send_time, int src_fd,
+                                    const Packet& pkt) {
+  // The delayed segment is overtaken by later traffic whose ACKs look like
+  // duplicates; Reno cannot tell that from loss, so one RTT later it fast-
+  // retransmits a payload the receiver will also get from the wire —
+  // kernel work plus a window reduction for nothing.
+  Packet dup = pkt;
+  dup.dup = true;
+  schedule_recovery(send_time + rtt_estimate(),
+                    PendingRecovery{dup, src_fd, 0, false, true});
+}
+
+void RenoStackModel::schedule_recovery(sim::TimeNs when, PendingRecovery rec) {
+  machine().engine().schedule_at(when, [this, rec] {
+    recovery_queue_.push_back(rec);
+    machine().raise_device_irq(fast_line_);
+  });
+}
+
+void RenoStackModel::fast_retx_irq(Cpu& cpu) {
+  // Interrupt context; deliver_irq already opened the tcp_fast_retransmit
+  // probe pair, so the cycles below are the fast-retransmit path's
+  // exclusive time (path cost).
+  while (!recovery_queue_.empty()) {
+    const PendingRecovery rec = recovery_queue_.front();
+    recovery_queue_.pop_front();
+    Conn& c = conn(rec.src_fd);
+    const std::uint64_t seg = mss();
+    c.ssthresh = std::max(c.cwnd / 2, 2 * seg);
+    // Fast retransmit halves the window; an RTO fallback collapses it.
+    c.cwnd = rec.timeout ? seg : c.ssthresh;
+    cpu.clock.consume_cycles(cfg().fast_retx_cycles + cfg().tcp_send_base);
+    count_retransmit();
+    if (rec.spurious) count_spurious_retransmit();
+    const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, rec.pkt.bytes);
+    wire_transmit(cpu.clock.cursor, rec.src_fd, rec.pkt, arrival, rec.tries);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RackStackModel
+// ---------------------------------------------------------------------------
+
+RackStackModel::RackStackModel(NodeStack& stack) : WindowedStackModel(stack) {
+  auto& m = machine();
+  ev_pacing_ = m.ktau().map_event("tcp_pacing_timer", meas::Group::Net);
+  pace_line_ = m.register_irq(ev_pacing_, [this](Cpu& cpu) { pacing_irq(cpu); });
+  ev_reo_ = m.ktau().map_event("tcp_rack_reo_timer", meas::Group::Net);
+  reo_line_ = m.register_irq(ev_reo_, [this](Cpu& cpu) { reo_irq(cpu); });
+}
+
+sim::TimeNs RackStackModel::pacing_interval() const {
+  if (cfg().pacing_interval != 0) return cfg().pacing_interval;
+  // Line rate: one full-size segment's serialization time.
+  return static_cast<sim::TimeNs>(static_cast<double>(cfg().segment_bytes) /
+                                  cfg().bandwidth_bps * sim::kSecond);
+}
+
+void RackStackModel::admit(Cpu& cpu, int fd, const Packet& pkt,
+                           std::uint32_t tries) {
+  pace_enqueue(cpu.clock.cursor, Paced{pkt, fd, tries}, /*front=*/false);
+}
+
+RackStackModel::PaceState& RackStackModel::pace_state(int fd) {
+  if (static_cast<std::size_t>(fd) >= pace_.size()) {
+    pace_.resize(static_cast<std::size_t>(fd) + 1);
+  }
+  return pace_[static_cast<std::size_t>(fd)];
+}
+
+void RackStackModel::pace_enqueue(sim::TimeNs now, Paced p, bool front) {
+  PaceState& st = pace_state(p.src_fd);
+  if (front) {
+    st.queue.push_front(p);
+  } else {
+    st.queue.push_back(p);
+  }
+  if (!st.armed) {
+    st.armed = true;
+    st.release_at = std::max(now, st.next_release);
+    arm_pacer(st.release_at);
+  }
+}
+
+void RackStackModel::arm_pacer(sim::TimeNs when) {
+  machine().engine().schedule_at(
+      when, [this] { machine().raise_device_irq(pace_line_); });
+}
+
+void RackStackModel::pacing_irq(Cpu& cpu) {
+  // One timer line serves every flow; a fire releases one segment from each
+  // flow that is due (cursor past its scheduled release) — paced release
+  // per flow, never a burst.  A stale fire (the segment it was armed for
+  // was already released by an earlier invocation) finds nothing due.
+  for (PaceState& st : pace_) {
+    if (!st.armed || cpu.clock.cursor < st.release_at) continue;
+    if (st.queue.empty()) {
+      st.armed = false;
+      continue;
+    }
+    const Paced p = st.queue.front();
+    st.queue.pop_front();
+    cpu.clock.consume_cycles(cfg().pacing_timer_cycles);
+    st.next_release = cpu.clock.cursor + pacing_interval();
+    const sim::TimeNs arrival = egress_arrival(cpu.clock.cursor, p.pkt.bytes);
+    wire_transmit(cpu.clock.cursor, p.src_fd, p.pkt, arrival, p.tries);
+    if (!st.queue.empty()) {
+      st.release_at = st.next_release;
+      arm_pacer(st.release_at);
+    } else {
+      st.armed = false;
+    }
+  }
+}
+
+void RackStackModel::wire_lost(sim::TimeNs send_time, int src_fd,
+                               const Packet& pkt, std::uint32_t tries) {
+  // Time-based recovery: the RACK reordering window (1.25 * RTT estimate)
+  // after the send, growing linearly per try — no exponential RTO floor.
+  const sim::TimeNs reo_wnd = rtt_estimate() + rtt_estimate() / 4;
+  const sim::TimeNs when = send_time + reo_wnd * (tries + 1);
+  const Paced rec{pkt, src_fd, tries + 1};
+  machine().engine().schedule_at(when, [this, rec] {
+    reo_queue_.push_back(rec);
+    machine().raise_device_irq(reo_line_);
+  });
+}
+
+void RackStackModel::reo_irq(Cpu& cpu) {
+  // Interrupt context inside the tcp_rack_reo_timer probe pair (path cost).
+  while (!reo_queue_.empty()) {
+    const Paced rec = reo_queue_.front();
+    reo_queue_.pop_front();
+    Conn& c = conn(rec.src_fd);
+    const std::uint64_t seg = mss();
+    // Proportional-rate style reduction: gentler than Reno's halving.
+    c.ssthresh = std::max(c.cwnd * 7 / 10, 2 * seg);
+    c.cwnd = c.ssthresh;
+    cpu.clock.consume_cycles(cfg().rack_reo_cycles);
+    count_retransmit();
+    // The recovered segment jumps the pacing queue.
+    pace_enqueue(cpu.clock.cursor, rec, /*front=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<StackModel> make_stack_model(NodeStack& stack, StackKind kind) {
+  switch (kind) {
+    case StackKind::Fixed:
+      return std::make_unique<FixedStackModel>(stack);
+    case StackKind::Reno:
+      return std::make_unique<RenoStackModel>(stack);
+    case StackKind::Rack:
+      return std::make_unique<RackStackModel>(stack);
+  }
+  throw std::invalid_argument("knet: unknown StackKind");
+}
+
+}  // namespace ktau::knet

@@ -1,0 +1,266 @@
+// Pluggable TCP stack models (DESIGN.md §13).
+//
+// `NodeStack` (stack.hpp) is the machine-facing shell: syscall bodies, the
+// NIC/IRQ/softirq receive plumbing, and the shared instrumentation points.
+// Everything *per-segment* — when a segment goes on the wire, how many may
+// be in flight, how wire loss is detected and when the retransmission is
+// scheduled — is a `StackModel` strategy, mirroring FreeBSD's
+// interchangeable `tcp_stacks/` (RACK, BBR behind one function-pointer
+// block).
+//
+// Three models ship:
+//
+//   FixedStackModel  (default) — the historical behaviour, bit for bit:
+//     immediate egress of every segment, no window, wire loss recovered by
+//     the retransmission timer with bounded exponential backoff.  Every
+//     pre-seam scenario must stay byte-identical under this model; that
+//     identity is the refactor's correctness proof (CI drift gate).
+//
+//   RenoStackModel — window-limited: cwnd (slow start + AIMD) bounds bytes
+//     in flight, clocked by a real reverse ACK path (ACK segments traverse
+//     the NIC/IRQ/softirq machinery and are charged as tcp_ack_rcv on the
+//     sender).  Wire loss is recovered by a duplicate-ACK fast retransmit
+//     one RTT after the send (cwnd halves); repeat loss of the same segment
+//     has no ACK clock left and falls back to the RTO backoff.  A
+//     *reordered* segment triggers a spurious fast retransmit — Reno's
+//     dup-ACK detector cannot tell reordering from loss — whose duplicate
+//     payload the receiver discards (kernel cost without credit).
+//
+//   RackStackModel — the same window machinery, but egress is released one
+//     segment at a time through a per-flow pacing timer (tcp_pacing_timer;
+//     Linux paces per socket, so flows never convoy behind each other), and
+//     loss
+//     recovery is purely time-based: a RACK reordering-window timer
+//     (tcp_rack_reo_timer) re-queues the segment at the head of the pacing
+//     queue.  Reordering-tolerant (wire_reordered is a no-op) and free of
+//     both dup-ACK spuriousness and RTO-floor stalls.
+//
+// Probe-cost vs path-cost decisions (CLAUDE.md invariant): every cycle a
+// model charges — ACK processing, fast-retransmit work, pacing/reo timer
+// handlers — is *path* cost on the CPU cursor, attributed to the model's
+// own instrumentation points; probe cost rides along automatically via the
+// kprobe machinery those points use.  Model instrumentation points are
+// registered lazily in each model's constructor, so the Fixed registry (and
+// hence every snapshot byte) is identical to the pre-seam stack.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "kernel/machine.hpp"
+#include "knet/config.hpp"
+#include "knet/stack.hpp"
+#include "sim/fault.hpp"
+
+namespace ktau::knet {
+
+/// The Fixed model's bounded exponential RTO backoff.  The shift cap (6)
+/// bounds the backoff at 64x the base RTO for any `tries` value — without
+/// it, tries >= 64 would shift past the width of TimeNs (UB).
+constexpr sim::TimeNs retx_backoff(sim::TimeNs rto, std::uint32_t tries) {
+  return rto << std::min<std::uint32_t>(tries, 6);
+}
+
+/// Strategy interface owning the per-segment decisions of one node's TCP
+/// stack.  One instance per NodeStack; all state is node-local (sharding
+/// invariant: models may schedule on their own node's engine freely, and
+/// every cross-node effect goes through the shell's wire_transmit /
+/// ACK-emission paths, which route via Cluster::cross_schedule).
+class StackModel {
+ public:
+  virtual ~StackModel() = default;
+
+  StackModel(const StackModel&) = delete;
+  StackModel& operator=(const StackModel&) = delete;
+
+  virtual StackKind kind() const = 0;
+
+  /// One MTU-sized segment leaving tcp_sendmsg on the send-syscall path.
+  /// The model decides immediate egress vs queueing (window / pacing).
+  virtual void segment_out(kernel::Cpu& cpu, int fd, const Packet& pkt) = 0;
+
+  /// The fault plane dropped this segment on the wire (tries < max_retx).
+  /// The model owns loss detection + retransmission scheduling.
+  virtual void wire_lost(sim::TimeNs send_time, int src_fd, const Packet& pkt,
+                         std::uint32_t tries) = 0;
+
+  /// The fault plane delayed this segment behind later sends (it still
+  /// arrives).  Reno mistakes this for loss; RACK and Fixed ignore it.
+  virtual void wire_reordered(sim::TimeNs send_time, int src_fd,
+                              const Packet& pkt);
+
+  /// A cumulative ACK reached the sender (softirq context on `cpu`).
+  /// Only models with wants_acks() ever see one.
+  virtual void ack_in(kernel::Cpu& cpu, int fd, std::uint32_t bytes);
+
+  /// Should the receive path emit an ACK per delivered data segment?
+  virtual bool wants_acks() const { return false; }
+
+ protected:
+  explicit StackModel(NodeStack& stack) : stack_(stack) {}
+
+  // -- bridge to the shell (StackModel is a friend of NodeStack) -------------
+  kernel::Machine& machine();
+  const NetConfig& cfg() const;
+  /// Null unless the fault plane's network faults are active.
+  const sim::FaultConfig* fault_config() const;
+  /// NIC serialization + link traversal (advances the shared NIC clock).
+  sim::TimeNs egress_arrival(sim::TimeNs ready, std::uint32_t bytes);
+  /// Puts one segment on the wire through the fault plane + cross_schedule.
+  void wire_transmit(sim::TimeNs send_time, int src_fd, const Packet& pkt,
+                     sim::TimeNs arrival, std::uint32_t tries);
+  /// Arms the shell's shared retransmission timer (tcp_retransmit_timer).
+  void schedule_timer_retx(sim::TimeNs when, int src_fd, const Packet& pkt,
+                           std::uint32_t tries);
+  void count_retransmit();
+  void count_spurious_retransmit();
+
+  /// Propagation RTT estimate used by recovery timers: two link latencies
+  /// plus one full-size segment's serialization.  A pure function of the
+  /// config — no live RTT sampling, so recovery schedules stay a pure
+  /// function of (config, seed).
+  sim::TimeNs rtt_estimate() const;
+
+  NodeStack& stack_;
+};
+
+/// The historical immediate-egress + exponential-RTO model (default).
+class FixedStackModel final : public StackModel {
+ public:
+  explicit FixedStackModel(NodeStack& stack) : StackModel(stack) {}
+
+  StackKind kind() const override { return StackKind::Fixed; }
+  void segment_out(kernel::Cpu& cpu, int fd, const Packet& pkt) override;
+  void wire_lost(sim::TimeNs send_time, int src_fd, const Packet& pkt,
+                 std::uint32_t tries) override;
+};
+
+/// Shared cwnd/in-flight machinery of the Reno and RACK models.
+class WindowedStackModel : public StackModel {
+ public:
+  void segment_out(kernel::Cpu& cpu, int fd, const Packet& pkt) override;
+  void ack_in(kernel::Cpu& cpu, int fd, std::uint32_t bytes) override;
+  bool wants_acks() const override { return true; }
+
+  /// Bytes currently unacknowledged on `fd` (tests/gates).
+  std::uint64_t in_flight(int fd) const;
+  /// Current congestion window of `fd` in bytes (tests/gates).
+  std::uint64_t cwnd(int fd) const;
+
+ protected:
+  explicit WindowedStackModel(NodeStack& stack);
+
+  struct Conn {
+    std::uint64_t cwnd = 0;  // bytes; 0 = not yet initialised
+    std::uint64_t ssthresh = ~0ULL / 2;
+    std::uint64_t in_flight = 0;
+    std::deque<Packet> queue;  // admitted by the window in FIFO order
+  };
+
+  Conn& conn(int fd);
+  std::uint64_t mss() const;
+
+  /// Releases one window-admitted segment toward the wire (Reno: immediate
+  /// egress; RACK: pacing queue).  `cpu` is the admitting context.
+  virtual void admit(kernel::Cpu& cpu, int fd, const Packet& pkt,
+                     std::uint32_t tries) = 0;
+
+  /// Drains `fd`'s queue while the window allows, charging window_tx_cycles
+  /// per released segment (tcp_write_xmit work in the ACK's context).
+  void pump(kernel::Cpu& cpu, int fd);
+
+ private:
+  std::vector<Conn> conns_;  // indexed by local fd, grown on demand
+};
+
+/// Reno: immediate egress within the window, dup-ACK fast retransmit.
+class RenoStackModel final : public WindowedStackModel {
+ public:
+  explicit RenoStackModel(NodeStack& stack);
+
+  StackKind kind() const override { return StackKind::Reno; }
+  void wire_lost(sim::TimeNs send_time, int src_fd, const Packet& pkt,
+                 std::uint32_t tries) override;
+  void wire_reordered(sim::TimeNs send_time, int src_fd,
+                      const Packet& pkt) override;
+
+ protected:
+  void admit(kernel::Cpu& cpu, int fd, const Packet& pkt,
+             std::uint32_t tries) override;
+
+ private:
+  struct PendingRecovery {
+    Packet pkt;
+    int src_fd = -1;
+    std::uint32_t tries = 0;
+    bool timeout = false;   // RTO fallback (cwnd -> 1 mss) vs fast retx
+    bool spurious = false;  // reordering mistaken for loss (dup payload)
+  };
+
+  void schedule_recovery(sim::TimeNs when, PendingRecovery rec);
+  void fast_retx_irq(kernel::Cpu& cpu);
+
+  meas::EventId ev_fast_retx_ = 0;
+  kernel::Machine::IrqLine fast_line_ = 0;
+  std::deque<PendingRecovery> recovery_queue_;
+};
+
+/// RACK: paced egress, time-based reordering-tolerant loss recovery.
+class RackStackModel final : public WindowedStackModel {
+ public:
+  explicit RackStackModel(NodeStack& stack);
+
+  StackKind kind() const override { return StackKind::Rack; }
+  void wire_lost(sim::TimeNs send_time, int src_fd, const Packet& pkt,
+                 std::uint32_t tries) override;
+  // wire_reordered: base no-op — RACK's reordering window absorbs it.
+
+ protected:
+  void admit(kernel::Cpu& cpu, int fd, const Packet& pkt,
+             std::uint32_t tries) override;
+
+ private:
+  struct Paced {
+    Packet pkt;
+    int src_fd = -1;
+    std::uint32_t tries = 0;
+  };
+
+  /// Pacing is per flow (Linux paces per socket, not per device): each
+  /// connection releases on its own clock, so a latency-sensitive flow
+  /// never convoys behind another flow's paced backlog — the NIC FIFO is
+  /// the only shared resource.
+  struct PaceState {
+    std::deque<Paced> queue;
+    bool armed = false;
+    /// Earliest time this flow may release its next segment.
+    sim::TimeNs next_release = 0;
+    /// When the armed timer fire is scheduled for (guards stale fires).
+    sim::TimeNs release_at = 0;
+  };
+
+  sim::TimeNs pacing_interval() const;
+  PaceState& pace_state(int fd);
+  /// Queues a segment for paced release and arms the flow's timer if idle.
+  /// Retransmissions jump the queue (front = true).
+  void pace_enqueue(sim::TimeNs now, Paced p, bool front);
+  void arm_pacer(sim::TimeNs when);
+  void pacing_irq(kernel::Cpu& cpu);
+  void reo_irq(kernel::Cpu& cpu);
+
+  meas::EventId ev_pacing_ = 0;
+  kernel::Machine::IrqLine pace_line_ = 0;
+  meas::EventId ev_reo_ = 0;
+  kernel::Machine::IrqLine reo_line_ = 0;
+
+  std::vector<PaceState> pace_;  // indexed by local fd, grown on demand
+  std::deque<Paced> reo_queue_;
+};
+
+/// Builds the model selected by `kind` for `stack`.
+std::unique_ptr<StackModel> make_stack_model(NodeStack& stack, StackKind kind);
+
+}  // namespace ktau::knet

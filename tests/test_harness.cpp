@@ -196,6 +196,25 @@ TEST(MatrixCli, ParsesEveryFlag) {
   EXPECT_EQ(opt.filter, (std::vector<std::string>{"table2", "fig"}));
 }
 
+TEST(MatrixCli, ParsesStackModel) {
+  MatrixOptions opt;
+  EXPECT_EQ(opt.stack, knet::StackKind::Fixed);  // default stays historical
+  ASSERT_TRUE(parse({"--stack", "reno"}, opt));
+  EXPECT_EQ(opt.stack, knet::StackKind::Reno);
+  ASSERT_TRUE(parse({"--stack", "rack"}, opt));
+  EXPECT_EQ(opt.stack, knet::StackKind::Rack);
+  ASSERT_TRUE(parse({"--stack", "fixed"}, opt));
+  EXPECT_EQ(opt.stack, knet::StackKind::Fixed);
+}
+
+TEST(MatrixCli, RejectsUnknownStackModel) {
+  MatrixOptions opt;
+  std::string err;
+  EXPECT_FALSE(parse({"--stack", "cubic"}, opt, &err));
+  EXPECT_NE(err.find("--stack"), std::string::npos);
+  EXPECT_FALSE(parse({"--stack"}, opt, &err));
+}
+
 TEST(MatrixCli, BarePositionalNumberIsScale) {
   MatrixOptions opt;
   ASSERT_TRUE(parse({"0.3"}, opt));

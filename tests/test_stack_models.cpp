@@ -1,0 +1,328 @@
+// Pluggable TCP stack model tests (DESIGN.md §13): the Fixed default's
+// byte-identity surface (no new events registered), the RTO backoff cap,
+// Reno's window/fast-retransmit/spurious-retransmit behaviour, RACK's
+// pacing and reordering tolerance, and sharded-run identity for the
+// non-default models.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "kernel/cluster.hpp"
+#include "knet/stack.hpp"
+#include "knet/stack_model.hpp"
+#include "sim/fault.hpp"
+
+namespace ktau::knet {
+namespace {
+
+using kernel::Cluster;
+using kernel::Machine;
+using kernel::MachineConfig;
+using kernel::Program;
+using kernel::RecvMsg;
+using kernel::SendMsg;
+using kernel::Task;
+using sim::kMillisecond;
+
+MachineConfig node_config(std::uint32_t cpus = 2) {
+  MachineConfig cfg;
+  cfg.cpus = cpus;
+  cfg.ktau.charge_overhead = false;
+  cfg.wake_misplace_prob = 0.0;
+  cfg.smp_compute_dilation = 0.0;
+  return cfg;
+}
+
+struct TwoNodes {
+  Cluster cluster;
+  Machine* a = nullptr;
+  Machine* b = nullptr;
+  std::unique_ptr<Fabric> fabric;
+
+  explicit TwoNodes(NetConfig net = {}, sim::FaultPlan* faults = nullptr,
+                    const MachineConfig& cfg = node_config()) {
+    a = &cluster.add_machine(cfg);
+    b = &cluster.add_machine(cfg);
+    net.latency_jitter_mean = 0;  // deterministic timing for tests
+    fabric = std::make_unique<Fabric>(cluster, net, faults);
+  }
+};
+
+Program sender(int fd, std::uint64_t bytes) { co_await SendMsg{fd, bytes}; }
+Program receiver(int fd, std::uint64_t bytes) { co_await RecvMsg{fd, bytes}; }
+
+/// Total count of `name` over every context of `m` (reaped + swapper).
+std::uint64_t event_count(Machine& m, std::string_view name) {
+  const auto ev = m.ktau().registry().find(name);
+  if (ev == meas::kNoEventId) return 0;
+  std::uint64_t count = 0;
+  for (const auto& r : m.ktau().reaped()) count += r.profile.metrics(ev).count;
+  for (kernel::CpuId c = 0; c < m.cpu_count(); ++c) {
+    count += m.cpu(c).idle_prof.metrics(ev).count;
+  }
+  return count;
+}
+
+void run_transfer(TwoNodes& env, int fd_a, int fd_b, std::uint64_t bytes) {
+  Task& tx = env.a->spawn("tx");
+  tx.program = sender(fd_a, bytes);
+  Task& rx = env.b->spawn("rx");
+  rx.program = receiver(fd_b, bytes);
+  env.a->launch(tx);
+  env.b->launch(rx);
+  env.cluster.run();
+  EXPECT_TRUE(tx.exited);
+  EXPECT_TRUE(rx.exited);
+}
+
+// ---------------------------------------------------------------------------
+// RTO backoff
+// ---------------------------------------------------------------------------
+
+TEST(RetxBackoff, DoublesPerTryUpToTheShiftCap) {
+  const sim::TimeNs rto = 50 * kMillisecond;
+  for (std::uint32_t tries = 0; tries <= 6; ++tries) {
+    EXPECT_EQ(retx_backoff(rto, tries), rto << tries) << tries;
+  }
+}
+
+TEST(RetxBackoff, CapsTheShiftSoLargeTryCountsCannotOverflow) {
+  const sim::TimeNs rto = 200 * kMillisecond;
+  const sim::TimeNs cap = rto << 6;  // 64x the base RTO
+  EXPECT_EQ(retx_backoff(rto, 6), cap);
+  EXPECT_EQ(retx_backoff(rto, 7), cap);
+  EXPECT_EQ(retx_backoff(rto, 100), cap);
+  EXPECT_EQ(retx_backoff(rto, 0xFFFFFFFFu), cap);
+}
+
+// ---------------------------------------------------------------------------
+// Fixed default: the refactor's identity surface
+// ---------------------------------------------------------------------------
+
+TEST(StackModels, DefaultIsFixedAndRegistersNoModelEvents) {
+  TwoNodes env;
+  EXPECT_EQ(env.fabric->stack(0).model().kind(), StackKind::Fixed);
+  // Lazy registration: under the default model (and a fault-free fabric)
+  // the registry must not contain any model/ACK instrumentation point —
+  // that keeps every pre-seam snapshot byte-identical.
+  for (const char* name : {"tcp_ack_rcv", "tcp_fast_retransmit",
+                           "tcp_pacing_timer", "tcp_rack_reo_timer",
+                           sim::kTcpRetxEvent}) {
+    EXPECT_EQ(env.a->ktau().registry().find(name), meas::kNoEventId) << name;
+  }
+  const auto conn = env.fabric->connect(0, 1);
+  run_transfer(env, conn.fd_a, conn.fd_b, 50'000);
+  EXPECT_EQ(env.fabric->stack(0).acks_received(), 0u);  // no ACK path
+  EXPECT_EQ(env.fabric->stack(0).retransmits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reno
+// ---------------------------------------------------------------------------
+
+TEST(StackModels, RenoAckClockOpensTheWindow) {
+  NetConfig net;
+  net.stack = StackKind::Reno;
+  TwoNodes env(net);
+  const auto conn = env.fabric->connect(0, 1);
+  const std::uint64_t bytes = 200'000;
+  run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+
+  NodeStack& tx_stack = env.fabric->stack(0);
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes);
+  // ACKs flowed back and were processed under tcp_ack_rcv.
+  EXPECT_GT(tx_stack.acks_received(), 0u);
+  EXPECT_EQ(event_count(*env.a, "tcp_ack_rcv"), tx_stack.acks_received());
+  // Slow start grew cwnd beyond the initial window.
+  auto& model = dynamic_cast<WindowedStackModel&>(tx_stack.model());
+  EXPECT_GT(model.cwnd(conn.fd_a),
+            net.init_cwnd_segments * net.segment_bytes);
+  // Everything was acknowledged by the end.
+  EXPECT_EQ(model.in_flight(conn.fd_a), 0u);
+}
+
+TEST(StackModels, RenoRecoversLossByFastRetransmitNotTheTimer) {
+  sim::FaultConfig fc;
+  fc.drop_prob = 0.2;
+  fc.rto = 50 * kMillisecond;
+  fc.seed = 0xD0;
+  sim::FaultPlan plan(fc, 2);
+  NetConfig net;
+  net.stack = StackKind::Reno;
+  TwoNodes env(net, &plan);
+  const auto conn = env.fabric->connect(0, 1);
+  const std::uint64_t bytes = 100'000;
+  run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes);
+  EXPECT_GT(plan.totals().segments_dropped, 0u);
+  EXPECT_GT(env.fabric->stack(0).retransmits(), 0u);
+  EXPECT_GT(event_count(*env.a, "tcp_fast_retransmit"), 0u);
+  // The legacy retransmission timer stayed silent.
+  EXPECT_EQ(event_count(*env.a, sim::kTcpRetxEvent), 0u);
+}
+
+TEST(StackModels, FixedRecoversLossByTheRetransmissionTimer) {
+  sim::FaultConfig fc;
+  fc.drop_prob = 0.2;
+  fc.rto = 5 * kMillisecond;  // keep the test fast
+  fc.seed = 0xD0;
+  sim::FaultPlan plan(fc, 2);
+  TwoNodes env({}, &plan);
+  const auto conn = env.fabric->connect(0, 1);
+  const std::uint64_t bytes = 100'000;
+  run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes);
+  EXPECT_GT(env.fabric->stack(0).retransmits(), 0u);
+  EXPECT_GT(event_count(*env.a, sim::kTcpRetxEvent), 0u);
+  EXPECT_EQ(env.a->ktau().registry().find("tcp_fast_retransmit"),
+            meas::kNoEventId);
+}
+
+TEST(StackModels, RenoMistakesReorderingForLoss) {
+  sim::FaultConfig fc;
+  fc.reorder_prob = 0.3;  // pure reordering, nothing is ever lost
+  fc.seed = 0xBEE;
+  sim::FaultPlan plan(fc, 2);
+  NetConfig net;
+  net.stack = StackKind::Reno;
+  TwoNodes env(net, &plan);
+  const auto conn = env.fabric->connect(0, 1);
+  const std::uint64_t bytes = 100'000;
+  run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+
+  EXPECT_GT(plan.totals().segments_reordered, 0u);
+  NodeStack& tx_stack = env.fabric->stack(0);
+  EXPECT_GT(tx_stack.spurious_retransmits(), 0u);
+  EXPECT_EQ(tx_stack.spurious_retransmits(), tx_stack.retransmits());
+  // The duplicate payloads cost receiver kernel work but credited nothing:
+  // exactly the payload byte count landed in the socket.
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes);
+  // Duplicates did traverse tcp_v4_rcv (kernel work without progress).
+  EXPECT_GT(env.fabric->stack(1).rx_segments(),
+            bytes / net.segment_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// RACK
+// ---------------------------------------------------------------------------
+
+TEST(StackModels, RackPacesEgressThroughTheTimer) {
+  NetConfig net;
+  net.stack = StackKind::Rack;
+  TwoNodes env(net);
+  const auto conn = env.fabric->connect(0, 1);
+  const std::uint64_t bytes = 100'000;
+  run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes);
+  // Every data segment was released by the pacing timer.
+  const std::uint64_t segments =
+      (bytes + net.segment_bytes - 1) / net.segment_bytes;
+  EXPECT_GE(event_count(*env.a, "tcp_pacing_timer"), segments);
+}
+
+TEST(StackModels, RackToleratesReordering) {
+  sim::FaultConfig fc;
+  fc.reorder_prob = 0.3;
+  fc.seed = 0xBEE;
+  sim::FaultPlan plan(fc, 2);
+  NetConfig net;
+  net.stack = StackKind::Rack;
+  TwoNodes env(net, &plan);
+  const auto conn = env.fabric->connect(0, 1);
+  const std::uint64_t bytes = 100'000;
+  run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+
+  EXPECT_GT(plan.totals().segments_reordered, 0u);
+  EXPECT_EQ(env.fabric->stack(0).spurious_retransmits(), 0u);
+  EXPECT_EQ(env.fabric->stack(0).retransmits(), 0u);
+  EXPECT_EQ(event_count(*env.a, "tcp_rack_reo_timer"), 0u);
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes);
+}
+
+TEST(StackModels, RackRecoversLossInTheReoTimer) {
+  sim::FaultConfig fc;
+  fc.drop_prob = 0.2;
+  fc.rto = 50 * kMillisecond;
+  fc.seed = 0xD0;
+  sim::FaultPlan plan(fc, 2);
+  NetConfig net;
+  net.stack = StackKind::Rack;
+  TwoNodes env(net, &plan);
+  const auto conn = env.fabric->connect(0, 1);
+  const std::uint64_t bytes = 100'000;
+  run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+
+  EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes);
+  EXPECT_GT(env.fabric->stack(0).retransmits(), 0u);
+  EXPECT_GT(event_count(*env.a, "tcp_rack_reo_timer"), 0u);
+  EXPECT_EQ(event_count(*env.a, sim::kTcpRetxEvent), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Retry saturation: extreme drop rates cannot wedge the simulation
+// ---------------------------------------------------------------------------
+
+TEST(StackModels, TotalLossDeliversUnconditionallyAfterMaxRetries) {
+  for (const StackKind kind :
+       {StackKind::Fixed, StackKind::Reno, StackKind::Rack}) {
+    sim::FaultConfig fc;
+    fc.drop_prob = 1.0;  // every first transmission is lost
+    fc.rto = 2 * kMillisecond;
+    fc.max_retx = 3;
+    sim::FaultPlan plan(fc, 2);
+    NetConfig net;
+    net.stack = kind;
+    TwoNodes env(net, &plan);
+    const auto conn = env.fabric->connect(0, 1);
+    const std::uint64_t bytes = 10'000;
+    run_transfer(env, conn.fd_a, conn.fd_b, bytes);
+    EXPECT_EQ(env.fabric->stack(1).socket(conn.fd_b).bytes_received, bytes)
+        << static_cast<int>(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded identity: the models only schedule node-locally
+// ---------------------------------------------------------------------------
+
+TEST(StackModels, ShardedRunsAreBitIdenticalForEveryModel) {
+  for (const StackKind kind :
+       {StackKind::Fixed, StackKind::Reno, StackKind::Rack}) {
+    auto run_case = [&](unsigned shards) {
+      NetConfig net;
+      net.stack = kind;
+      net.latency_jitter_mean = 0;
+      sim::FaultConfig fc;
+      fc.drop_prob = 0.1;
+      fc.reorder_prob = 0.1;
+      fc.rto = 5 * kMillisecond;
+      fc.seed = 0xF00D;
+      sim::FaultPlan plan(fc, 2);
+      Cluster cluster(kernel::ShardPlan{shards, net.latency});
+      Machine& a = cluster.add_machine(node_config());
+      Machine& b = cluster.add_machine(node_config());
+      Fabric fabric(cluster, net, &plan);
+      const auto conn = fabric.connect(0, 1);
+      Task& tx = a.spawn("tx");
+      tx.program = sender(conn.fd_a, 150'000);
+      Task& rx = b.spawn("rx");
+      rx.program = receiver(conn.fd_b, 150'000);
+      a.launch(tx);
+      b.launch(rx);
+      cluster.run();
+      EXPECT_TRUE(rx.exited);
+      return std::tuple{rx.end_time, fabric.stack(0).retransmits(),
+                        fabric.stack(0).acks_received(),
+                        plan.totals().segments_dropped,
+                        cluster.executed_total()};
+    };
+    EXPECT_EQ(run_case(1), run_case(2)) << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace ktau::knet
