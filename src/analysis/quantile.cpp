@@ -1,0 +1,182 @@
+#include "analysis/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ktau::analysis {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+QuantileEstimator::QuantileEstimator(std::size_t exact_limit, std::size_t bins)
+    : exact_limit_(std::max<std::size_t>(exact_limit, 1)),
+      bins_(std::max<std::size_t>(bins, 2)) {}
+
+void QuantileEstimator::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  if (bin_counts_.empty()) {
+    samples_.push_back(v);
+    sorted_ = false;
+    if (samples_.size() > exact_limit_) freeze_bins();
+    return;
+  }
+  const double pos = (v - bin_lo_) / bin_width_;
+  const auto idx = pos <= 0 ? std::size_t{0}
+                   : pos >= static_cast<double>(bins_ - 1)
+                       ? bins_ - 1
+                       : static_cast<std::size_t>(pos);
+  ++bin_counts_[idx];
+}
+
+void QuantileEstimator::freeze_bins() {
+  // Edges span the exact samples' range with one bin-width of headroom per
+  // side, so modest outliers beyond the observed range still resolve; the
+  // clamp to edge bins handles the rest (sim::Histogram's convention).
+  const auto [lo_it, hi_it] = std::minmax_element(samples_.begin(), samples_.end());
+  double lo = *lo_it;
+  double hi = *hi_it;
+  if (hi <= lo) hi = lo + 1.0;
+  const double width = (hi - lo) / static_cast<double>(bins_ - 2);
+  bin_lo_ = lo - width;
+  bin_width_ = width;
+  bin_counts_.assign(bins_, 0);
+  for (const double v : samples_) {
+    const double pos = (v - bin_lo_) / bin_width_;
+    const auto idx = pos <= 0 ? std::size_t{0}
+                     : pos >= static_cast<double>(bins_ - 1)
+                         ? bins_ - 1
+                         : static_cast<std::size_t>(pos);
+    ++bin_counts_[idx];
+  }
+  samples_.clear();
+  samples_.shrink_to_fit();
+}
+
+double QuantileEstimator::min() const { return count_ == 0 ? kNaN : min_; }
+double QuantileEstimator::max() const { return count_ == 0 ? kNaN : max_; }
+
+double QuantileEstimator::quantile(double q) const {
+  if (count_ == 0) return kNaN;
+  q = std::clamp(q, 0.0, 1.0);
+  return bin_counts_.empty() ? quantile_exact(q) : quantile_binned(q);
+}
+
+double QuantileEstimator::quantile_exact(double q) const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank (sim::Cdf convention): the ceil(q*n)-th order statistic.
+  const auto n = samples_.size();
+  const double rank = std::ceil(q * static_cast<double>(n));
+  const auto idx = rank <= 1 ? std::size_t{0}
+                             : std::min(n - 1, static_cast<std::size_t>(rank) - 1);
+  return samples_[idx];
+}
+
+double QuantileEstimator::quantile_binned(double q) const {
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < bin_counts_.size(); ++i) {
+    if (bin_counts_[i] == 0) continue;
+    const auto next = seen + bin_counts_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bin by the rank's position in it, clamped to
+      // the true observed range so edge-bin outliers don't extrapolate.
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(bin_counts_[i]);
+      const double v = bin_lo_ + (static_cast<double>(i) + frac) * bin_width_;
+      return std::clamp(v, min_, max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+PercentileTiles QuantileEstimator::tiles() const {
+  PercentileTiles t;
+  t.count = count_;
+  t.p50 = quantile(0.50);
+  t.p95 = quantile(0.95);
+  t.p99 = quantile(0.99);
+  t.p999 = quantile(0.999);
+  return t;
+}
+
+TailBreakdown tail_breakdown(const std::vector<RequestSample>& reqs, double q) {
+  TailBreakdown out;
+  if (reqs.empty()) return out;
+  q = std::clamp(q, 0.0, 1.0);
+
+  // Order requests by latency with the original index as tiebreak: the
+  // split is a pure function of the sample list.
+  std::vector<std::size_t> order(reqs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&reqs](std::size_t a, std::size_t b) {
+    if (reqs[a].latency_sec != reqs[b].latency_sec) {
+      return reqs[a].latency_sec < reqs[b].latency_sec;
+    }
+    return a < b;
+  });
+  // Tail = everything at or above the nearest-rank q quantile position,
+  // and at least one request.
+  const double rank = std::ceil(q * static_cast<double>(order.size()));
+  const auto split = rank <= 1 ? std::size_t{0}
+                               : std::min(order.size() - 1,
+                                          static_cast<std::size_t>(rank) - 1);
+  out.threshold_sec = reqs[order[split]].latency_sec;
+  out.tail_count = static_cast<std::uint64_t>(order.size() - split);
+  out.body_count = static_cast<std::uint64_t>(split);
+
+  struct Acc {
+    double tail = 0;
+    double body = 0;
+  };
+  std::vector<std::pair<std::string, Acc>> accs;
+  auto slot = [&accs](const std::string& name) -> Acc& {
+    for (auto& [n, a] : accs) {
+      if (n == name) return a;
+    }
+    accs.emplace_back(name, Acc{});
+    return accs.back().second;
+  };
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const bool in_tail = pos >= split;
+    for (const auto& [name, sec] : reqs[order[pos]].paths) {
+      Acc& a = slot(name);
+      if (in_tail) {
+        a.tail += sec;
+      } else {
+        a.body += sec;
+      }
+    }
+  }
+  out.paths.reserve(accs.size());
+  for (const auto& [name, a] : accs) {
+    PathContribution pc;
+    pc.name = name;
+    pc.tail_sec_per_req = a.tail / static_cast<double>(out.tail_count);
+    pc.body_sec_per_req =
+        out.body_count == 0 ? 0 : a.body / static_cast<double>(out.body_count);
+    out.paths.push_back(std::move(pc));
+  }
+  std::sort(out.paths.begin(), out.paths.end(),
+            [](const PathContribution& a, const PathContribution& b) {
+              const double da = a.tail_sec_per_req - a.body_sec_per_req;
+              const double db = b.tail_sec_per_req - b.body_sec_per_req;
+              if (da != db) return da > db;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace ktau::analysis

@@ -1,0 +1,109 @@
+// Deterministic quantile estimation + tail-breakdown views (DESIGN.md §14).
+//
+// The serving workload reports latency distributions as percentile tiles
+// (p50/p95/p99/p999) rather than means/CDF dumps.  Two regimes, one
+// estimator:
+//
+//   - exact mode (n <= exact_limit): every sample is kept; quantiles are
+//     nearest-rank over the sorted samples, bit-exact and independent of
+//     insertion order;
+//   - binned mode (n > exact_limit): on crossing the limit the estimator
+//     freezes a fixed-bin histogram spanning the exact samples' range (with
+//     headroom) and clamps later samples to the edge bins, like
+//     sim::Histogram.  Quantiles interpolate within the chosen bin.  The
+//     bin edges depend only on the first exact_limit samples, so the
+//     estimate is again a pure function of the sample sequence.
+//
+// Conventions match sim::OnlineStats / sim::Cdf: an empty estimator
+// reports NaN for every quantile (and min/max), a single sample reports
+// that value for every quantile.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ktau::analysis {
+
+/// The standard tile row reported per trial.
+struct PercentileTiles {
+  std::uint64_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+class QuantileEstimator {
+ public:
+  /// `exact_limit`: sample count up to which quantiles are exact;
+  /// `bins`: histogram resolution after the switch.
+  explicit QuantileEstimator(std::size_t exact_limit = 4096,
+                             std::size_t bins = 2048);
+
+  void add(double v);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double min() const;  // NaN when empty (OnlineStats convention)
+  double max() const;  // NaN when empty
+
+  /// Quantile for q in [0, 1]: nearest-rank in exact mode, within-bin
+  /// interpolation in binned mode.  NaN when empty.
+  double quantile(double q) const;
+
+  bool binned() const { return !bin_counts_.empty(); }
+
+  PercentileTiles tiles() const;
+
+ private:
+  void freeze_bins();
+  double quantile_exact(double q) const;
+  double quantile_binned(double q) const;
+
+  std::size_t exact_limit_;
+  std::size_t bins_;
+  std::uint64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  /// Exact mode: the samples themselves (sorted lazily per query).
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  /// Binned mode.
+  std::vector<std::uint64_t> bin_counts_;  // empty until frozen
+  double bin_lo_ = 0;
+  double bin_width_ = 0;
+};
+
+/// One request's contribution to the tail view: its latency plus named
+/// per-path kernel seconds (exclusive time, so paths partition the window).
+struct RequestSample {
+  double latency_sec = 0;
+  /// (kernel path name, seconds) — names from the event registry.
+  std::vector<std::pair<std::string, double>> paths;
+};
+
+/// Per-path comparison between the slowest tail and the body.
+struct PathContribution {
+  std::string name;
+  double tail_sec_per_req = 0;  // mean seconds/request within the tail
+  double body_sec_per_req = 0;  // mean seconds/request outside the tail
+};
+
+/// "Which kernel path dominates the slowest (1-q) of requests": splits
+/// `reqs` at the latency quantile `q` (ties broken by original index, so
+/// the split is deterministic) and compares per-path mean seconds between
+/// tail and body.  Paths sorted by (tail - body) descending, name
+/// ascending on ties.
+struct TailBreakdown {
+  double threshold_sec = 0;    // latency at the split point
+  std::uint64_t tail_count = 0;
+  std::uint64_t body_count = 0;
+  std::vector<PathContribution> paths;
+};
+
+TailBreakdown tail_breakdown(const std::vector<RequestSample>& reqs, double q);
+
+}  // namespace ktau::analysis

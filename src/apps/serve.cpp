@@ -1,0 +1,127 @@
+#include "apps/serve.hpp"
+
+#include <utility>
+
+#include "sim/rng.hpp"
+
+namespace ktau::apps {
+
+namespace {
+
+sim::TimeNs draw_service(sim::Rng& rng, const ServeShape& shape) {
+  const double mean = static_cast<double>(shape.service_mean);
+  const double lo = mean * (1.0 - shape.service_jitter);
+  const double span = 2.0 * mean * shape.service_jitter;
+  return static_cast<sim::TimeNs>(lo + span * rng.next_double());
+}
+
+kernel::Program reactor_program(kernel::Task& self, std::vector<int> conns,
+                                ServeShape shape, std::uint64_t service_seed,
+                                std::uint32_t tag_base, ServeLog& log) {
+  sim::Rng rng(service_seed);
+  std::vector<int> fds = std::move(conns);
+  std::vector<std::uint64_t> conn_seq(fds.size(), 0);
+  int ready = -1;
+  for (std::uint32_t n = 0;; ++n) {
+    co_await kernel::RecvAny{&fds, shape.req_bytes, &ready};
+    const std::uint32_t tag = tag_base + n + 1;
+    self.prof.set_request_tag(tag);
+    const sim::TimeNs picked = self.cpu->clock.cursor;
+    const sim::TimeNs service = draw_service(rng, shape);
+    co_await kernel::Compute{service};
+    co_await kernel::SendMsg{ready, shape.rsp_bytes};
+    self.prof.set_request_tag(0);
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i] == ready) {
+        seq = conn_seq[i]++;
+        break;
+      }
+    }
+    log.served.push_back(ServedRequest{tag, ready, seq, picked,
+                                       self.cpu->clock.cursor, service});
+  }
+}
+
+kernel::Program closed_client_program(kernel::Task& self, int fd,
+                                      ServeShape shape, std::uint32_t count,
+                                      ClientLog& log) {
+  for (std::uint32_t n = 0; n < count; ++n) {
+    const sim::TimeNs issued = self.cpu->clock.cursor;
+    co_await kernel::SendMsg{fd, shape.req_bytes};
+    co_await kernel::RecvMsg{fd, shape.rsp_bytes};
+    log.requests.push_back(ClientRecord{issued, self.cpu->clock.cursor});
+  }
+}
+
+kernel::Program open_sender_program(kernel::Task& self, int fd,
+                                    ServeShape shape,
+                                    std::vector<sim::TimeNs> arrivals) {
+  for (const sim::TimeNs at : arrivals) {
+    const sim::TimeNs now = self.cpu->clock.cursor;
+    if (at > now) co_await kernel::SleepFor{at - now};
+    co_await kernel::SendMsg{fd, shape.req_bytes};
+  }
+}
+
+kernel::Program open_receiver_program(kernel::Task& self, int fd,
+                                      ServeShape shape,
+                                      std::vector<sim::TimeNs> arrivals,
+                                      ClientLog& log) {
+  // Responses on one connection come back in FIFO order, so the nth read
+  // pairs with the nth scheduled arrival.
+  for (const sim::TimeNs at : arrivals) {
+    co_await kernel::RecvMsg{fd, shape.rsp_bytes};
+    log.requests.push_back(ClientRecord{at, self.cpu->clock.cursor});
+  }
+}
+
+}  // namespace
+
+kernel::Task& spawn_reactor(kernel::Machine& m, std::vector<int> conns,
+                            const ServeShape& shape, std::uint64_t service_seed,
+                            std::uint32_t tag_base, ServeLog& log,
+                            kernel::CpuMask affinity, const std::string& name) {
+  kernel::Task& t = m.spawn(name, affinity);
+  t.program = reactor_program(t, std::move(conns), shape, service_seed,
+                              tag_base, log);
+  m.launch(t);
+  return t;
+}
+
+kernel::Task& spawn_closed_client(kernel::Machine& m, int fd,
+                                  const ServeShape& shape, std::uint32_t count,
+                                  ClientLog& log, const std::string& name) {
+  kernel::Task& t = m.spawn(name);
+  t.program = closed_client_program(t, fd, shape, count, log);
+  m.launch(t);
+  return t;
+}
+
+void spawn_open_client(kernel::Machine& m, int fd, const ServeShape& shape,
+                       std::vector<sim::TimeNs> arrivals, ClientLog& log,
+                       const std::string& name_prefix) {
+  kernel::Task& rx = m.spawn(name_prefix + "-rx");
+  rx.program = open_receiver_program(rx, fd, shape, arrivals, log);
+  m.launch(rx);
+  kernel::Task& tx = m.spawn(name_prefix + "-tx");
+  tx.program = open_sender_program(tx, fd, shape, std::move(arrivals));
+  m.launch(tx);
+}
+
+std::vector<sim::TimeNs> poisson_arrivals(std::uint64_t seed, double rate_hz,
+                                          std::uint32_t count,
+                                          sim::TimeNs start) {
+  sim::Rng rng(seed);
+  std::vector<sim::TimeNs> out;
+  out.reserve(count);
+  const double mean_ns = static_cast<double>(sim::kSecond) / rate_hz;
+  sim::TimeNs t = start;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    t += static_cast<sim::TimeNs>(rng.exponential(mean_ns));
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace ktau::apps

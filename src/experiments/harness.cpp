@@ -263,6 +263,18 @@ bool parse_matrix_args(int argc, char** argv, MatrixOptions& opt,
         if (error.empty()) error = "--sim-threads expects a positive integer";
         return false;
       }
+    } else if (arg == "--shard") {
+      const char* v = next_value("--shard");
+      if (v == nullptr) return false;
+      int idx = 0, cnt = 0;
+      char slash = '\0', tail = '\0';
+      if (std::sscanf(v, "%d%c%d%c", &idx, &slash, &cnt, &tail) != 3 ||
+          slash != '/' || idx < 0 || cnt < 1 || idx >= cnt) {
+        error = "--shard expects i/N with 0 <= i < N";
+        return false;
+      }
+      opt.shard_index = idx;
+      opt.shard_count = cnt;
     } else if (arg == "--stack") {
       const char* v = next_value("--stack");
       if (v == nullptr) return false;
@@ -323,9 +335,18 @@ int run_matrix(const MatrixOptions& opt, std::ostream& out,
 
   // ---- select + decompose -------------------------------------------------
   std::vector<Unit> units;
+  std::size_t matched = 0;  // filter-matched units, pre-shard
   for (const ScenarioSpec* spec : scenarios()) {
     if (!matches_filter(spec->name, opt.filter)) continue;
     for (int repeat = 0; repeat < opt.trials; ++repeat) {
+      // Shard over the canonical unit ordering so `--shard i/N` for
+      // i = 0..N-1 partitions exactly the unit list a single run executes.
+      const std::size_t ordinal = matched++;
+      if (opt.shard_count > 1 &&
+          ordinal % static_cast<std::size_t>(opt.shard_count) !=
+              static_cast<std::size_t>(opt.shard_index)) {
+        continue;
+      }
       Unit u;
       u.spec = spec;
       u.params.scale = opt.scale > 0 ? opt.scale : spec->default_scale;
@@ -340,6 +361,13 @@ int run_matrix(const MatrixOptions& opt, std::ostream& out,
     }
   }
   if (units.empty()) {
+    if (matched > 0) {
+      // The filter matched, the shard is just empty (N exceeds the unit
+      // count): a valid partition outcome, not an error.
+      info << "harness: shard " << opt.shard_index << "/" << opt.shard_count
+           << " selects none of the " << matched << " unit(s)\n";
+      return 0;
+    }
     info << "harness: no scenario matches the filter (try --list)\n";
     return 1;
   }
@@ -465,6 +493,10 @@ int harness_main(int argc, char** argv, const char* default_filter) {
         "  --stack M     TCP stack model: fixed (default, historical\n"
         "                behaviour), reno, or rack (DESIGN.md §13).  Unlike\n"
         "                the knobs above this changes simulation results.\n"
+        "  --shard i/N   run only scenario units with ordinal i mod N\n"
+        "                (canonical order, after --filter/--trials): a\n"
+        "                deterministic partition for spreading the matrix\n"
+        "                over machines.  0/1 (default) selects everything\n"
         "  --seed S      base seed override (decorrelates all trials)\n"
         "  --json PATH   write the machine-readable result document\n"
         "  --filter A,B  run only scenarios matching a name/substring\n"

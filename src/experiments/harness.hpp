@@ -174,6 +174,12 @@ struct MatrixOptions {
   std::uint64_t seed = 0;           // user seed; meaningful iff seed_set
   bool seed_set = false;
   std::string json_path;            // empty = no JSON emission
+  /// `--shard i/N`: run only the scenario units whose ordinal (canonical
+  /// order, after --filter/--trials expansion) is congruent to i mod N —
+  /// a deterministic partition for spreading a matrix over machines.  The
+  /// default 0/1 selects everything and is byte-identical to no flag.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 /// Parses the runner CLI into `opt`.  Returns false and fills `error` on

@@ -1,0 +1,90 @@
+// Request/response serving scenario (DESIGN.md §14): a reactor-per-CPU
+// server node fed by closed-loop or open-loop clients on four client
+// nodes, with client-observed latency reported as percentile tiles and
+// the slowest requests decomposed into named kernel paths through the
+// per-request probe tagging (meas::TaskProfile::requests()).
+//
+// Two disciplines:
+//   Closed — each client sends, waits for the response, repeats.  Offered
+//            load tracks service capacity, so throughput saturates with
+//            the server's CPU count.
+//   Open   — Poisson arrivals fired regardless of responses.  Queueing
+//            delay lands in the latency distribution, which is what makes
+//            the far tail sensitive to kernel interference (IRQ storms,
+//            wire loss) while the median holds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/netstat.hpp"
+#include "analysis/quantile.hpp"
+#include "knet/config.hpp"
+#include "sim/fault.hpp"
+
+namespace ktau::expt {
+
+enum class ServeMode { Closed, Open };
+
+std::string serve_mode_name(ServeMode m);
+
+struct ServeConfig {
+  ServeMode mode = ServeMode::Closed;
+  /// Server-node CPUs; one reactor task is pinned per CPU and the NIC
+  /// IRQs round-robin across them.
+  int server_cpus = 1;
+  knet::StackKind stack = knet::StackKind::Fixed;
+  /// Scales per-client request counts / arrival counts.
+  double scale = 1.0;
+  std::uint64_t seed = 17;
+  /// Event-queue shards (0 = the process default, see
+  /// set_default_sim_threads).  Byte-identical results for any value.
+  int sim_threads = 0;
+  /// IRQ storm on the server node (sim::FaultConfig storm plane).
+  bool irq_storm = false;
+  /// Wire loss probability (retransmission recovery under cfg.stack).
+  double drop_prob = 0.0;
+};
+
+struct ServeResult {
+  std::uint64_t requests_offered = 0;
+  std::uint64_t requests_completed = 0;
+  /// Last client-side completion (simulated seconds).
+  double exec_sec = 0;
+  /// Completed requests / (last completion - first issue).
+  double throughput_rps = 0;
+  std::uint64_t engine_events = 0;
+
+  /// Client-observed latency (seconds): scheduled/issued -> response read.
+  analysis::PercentileTiles latency;
+  /// Per-path comparison of the slowest 1% of requests against the body.
+  /// Paths are the tagged kernel events plus two pseudo-paths:
+  /// "user_service" (the drawn compute) and "other" (window residual:
+  /// SMP dilation, IRQ cache disruption, run-queue wait).
+  analysis::TailBreakdown tail;
+
+  /// Mean tagged Irq+BottomHalf exclusive seconds per request, tail (the
+  /// slowest 1%) vs body — the "which kernel path dominates the tail"
+  /// number the storm gate pins.
+  double tail_interrupt_sec_per_req = 0;
+  double body_interrupt_sec_per_req = 0;
+  /// The kernel event (pseudo-paths excluded) with the largest tail-body
+  /// delta, and whether its registry group is Irq or BottomHalf.
+  std::string top_tail_kernel_path;
+  bool top_tail_path_is_interrupt = false;
+
+  /// Total tagged kernel seconds across all requests, and how many served
+  /// requests carried at least one tagged kernel path (the response send
+  /// runs under the tag, so this should equal requests_completed).
+  double tagged_kernel_sec = 0;
+  std::uint64_t tagged_requests = 0;
+
+  analysis::NetNodeCounters net;         // cluster-wide totals
+  analysis::NetNodeCounters server_net;  // the server node's row
+  sim::FaultPlan::Totals fault_totals;
+};
+
+/// Builds, runs, and harvests one serving configuration.
+ServeResult run_serve(const ServeConfig& cfg);
+
+}  // namespace ktau::expt

@@ -450,6 +450,20 @@ void Machine::advance_task(Cpu& cpu) {
       start_user_burst(cpu, t);
       return;
     }
+    if (const auto* m = std::get_if<RecvAny>(&a)) {
+      if (net_ == nullptr) {
+        throw std::logic_error("RecvAny: no network stack installed");
+      }
+      const SyscallStatus status = net_->sys_recv_any(cpu, t, *m);
+      if (status == SyscallStatus::Completed ||
+          status == SyscallStatus::Error) {
+        t.current_action.reset();
+        complete_action(cpu, t);
+        return;
+      }
+      // RecvAny has no spin mode: anything not completed is Blocked.
+      return;
+    }
     throw std::logic_error("advance_task: unhandled action variant");
   }
 }

@@ -61,6 +61,10 @@ class NetStack {
   /// MPICH-style spin-then-block receive.
   virtual SyscallStatus sys_recv(Cpu& cpu, Task& t, const RecvMsg& m,
                                  bool allow_block) = 0;
+  /// Multiplexed receive over a set of sockets (the reactor primitive):
+  /// consume `m.bytes` from the first ready fd in `*m.fds` (writing the
+  /// chosen fd to `*m.out_fd`), or block until one becomes ready.
+  virtual SyscallStatus sys_recv_any(Cpu& cpu, Task& t, const RecvAny& m) = 0;
 };
 
 /// Cached instrumentation-point ids for the kernel's own code paths.

@@ -19,6 +19,7 @@
 #include <optional>
 #include <utility>
 #include <variant>
+#include <vector>
 
 #include "sim/time.hpp"
 
@@ -51,6 +52,18 @@ struct RecvMsg {
   sim::TimeNs spin_ns = 0;
 };
 
+/// sys_poll + sys_read over a set of connected sockets: block until any of
+/// them has `bytes` available, consume from the first ready one (lowest
+/// position in `fds`), and write the chosen fd to `*out_fd`.  The pointed-to
+/// vector and out-slot live in the coroutine frame, which outlives the
+/// action (the coroutine is suspended while the kernel services it).  This
+/// is the reactor primitive: one server task multiplexing many connections.
+struct RecvAny {
+  const std::vector<int>* fds;
+  std::uint64_t bytes;
+  int* out_fd;
+};
+
 /// sys_sched_yield.
 struct Yield {};
 
@@ -60,8 +73,8 @@ struct NullSyscall {};
 /// A minor page fault (exception-group kernel activity).
 struct Fault {};
 
-using Action =
-    std::variant<Compute, SleepFor, SendMsg, RecvMsg, Yield, NullSyscall, Fault>;
+using Action = std::variant<Compute, SleepFor, SendMsg, RecvMsg, RecvAny,
+                            Yield, NullSyscall, Fault>;
 
 /// Coroutine type for simulated programs.
 ///

@@ -84,6 +84,11 @@ struct NetConfig {
   /// pairs each tcp_sendmsg / tcp_v4_rcv stands for; see DESIGN.md §4).
   std::uint32_t tcp_inner_probes = 10;
 
+  /// sys_poll readiness-scan cost per watched fd (the RecvAny reactor
+  /// primitive; charged only on that path, so single-socket workloads are
+  /// untouched).
+  std::uint64_t poll_per_fd = 350;
+
   /// Seed for latency jitter.
   std::uint64_t seed = 0xFEED;
 

@@ -287,6 +287,103 @@ SyscallStatus NodeStack::finish_recv(Cpu& cpu, Task& t, int fd,
 }
 
 // ---------------------------------------------------------------------------
+// Receive path: multiplexed (sys_poll + sys_read, the reactor primitive)
+// ---------------------------------------------------------------------------
+
+void NodeStack::clear_poll_waiters(const std::vector<int>& fds, Task& t) {
+  for (const int fd : fds) {
+    Socket& s = socket(fd);
+    if (s.waiter == &t) s.waiter = nullptr;
+  }
+}
+
+SyscallStatus NodeStack::sys_recv_any(Cpu& cpu, Task& t,
+                                      const kernel::RecvAny& m) {
+  if (ev_sys_poll_ == meas::kNoEventId) {
+    // First poll on this node: register the instrumentation point lazily so
+    // workloads that never multiplex keep their registry bytes unchanged.
+    ev_sys_poll_ = machine_.ktau().map_event("sys_poll", meas::Group::Syscall);
+  }
+  const auto& costs = machine_.config().costs;
+  machine_.kprobe_entry(cpu, ev_sys_poll_);
+  cpu.clock.consume_cycles(costs.syscall_entry +
+                           cfg_.poll_per_fd * m.fds->size());
+  machine_.ktau().hidden_pairs(cpu.clock, meas::Group::Syscall,
+                               costs.syscall_inner_probes);
+  // The reactor is the sticky consumer of every connection it watches (the
+  // receive path's cache-penalty check keys on this).
+  for (const int fd : *m.fds) socket(fd).owner = &t;
+
+  for (const int fd : *m.fds) {
+    if (socket(fd).rx_available >= m.bytes) {
+      return finish_recv_any(cpu, t, m.fds, m.bytes, m.out_fd);
+    }
+  }
+
+  for (const int fd : *m.fds) {
+    if (!claim_waiter(socket(fd), t, m.bytes)) {
+      clear_poll_waiters(*m.fds, t);
+      cpu.clock.consume_cycles(costs.syscall_exit);
+      machine_.kprobe_exit(cpu, ev_sys_poll_);
+      return SyscallStatus::Error;
+    }
+  }
+
+  // Block as the registered waiter of every watched socket; whichever one
+  // fills first wakes us, and the rescan clears the other registrations.
+  // The sys_poll activation frame stays open across the block, so the
+  // nested schedule_vol wait lands in sys_poll's inclusive time.
+  const std::vector<int>* fds = m.fds;
+  const std::uint64_t bytes = m.bytes;
+  int* out_fd = m.out_fd;
+  t.resume = [this, fds, bytes, out_fd](Cpu& c, Task& task) {
+    return finish_recv_any(c, task, fds, bytes, out_fd);
+  };
+  machine_.block_current(cpu, t);
+  return SyscallStatus::Blocked;
+}
+
+SyscallStatus NodeStack::finish_recv_any(Cpu& cpu, Task& t,
+                                         const std::vector<int>* fds,
+                                         std::uint64_t bytes, int* out_fd) {
+  const auto& costs = machine_.config().costs;
+  // The wakeup re-runs the readiness scan (the poll return path).
+  cpu.clock.consume_cycles(cfg_.poll_per_fd * fds->size());
+  int ready = -1;
+  for (const int fd : *fds) {
+    if (socket(fd).rx_available >= bytes) {
+      ready = fd;
+      break;
+    }
+  }
+  if (ready < 0) {
+    // Spurious wakeup (defensive; wakes are normally exact): wait again.
+    for (const int fd : *fds) {
+      if (!claim_waiter(socket(fd), t, bytes)) {
+        clear_poll_waiters(*fds, t);
+        cpu.clock.consume_cycles(costs.syscall_exit);
+        machine_.kprobe_exit(cpu, ev_sys_poll_);
+        return SyscallStatus::Error;
+      }
+    }
+    machine_.block_current(cpu, t);
+    return SyscallStatus::Blocked;
+  }
+  clear_poll_waiters(*fds, t);
+  Socket& sock = socket(ready);
+  sock.rx_available -= bytes;
+
+  machine_.kprobe_entry(cpu, ev_sock_recvmsg_);
+  cpu.clock.consume_cycles(cfg_.sock_glue + copy_cycles(bytes));
+  machine_.kprobe_exit(cpu, ev_sock_recvmsg_);
+
+  cpu.clock.consume_cycles(costs.syscall_exit);
+  machine_.kprobe_exit(cpu, ev_sys_poll_);
+  *out_fd = ready;
+  return SyscallStatus::Completed;
+}
+
+// ---------------------------------------------------------------------------
 // Receive path: interrupt side
 // ---------------------------------------------------------------------------
 

@@ -103,6 +103,8 @@ class NodeStack final : public kernel::NetStack {
   kernel::SyscallStatus sys_recv(kernel::Cpu& cpu, kernel::Task& t,
                                  const kernel::RecvMsg& m,
                                  bool allow_block) override;
+  kernel::SyscallStatus sys_recv_any(kernel::Cpu& cpu, kernel::Task& t,
+                                     const kernel::RecvAny& m) override;
 
   // -- receive side ------------------------------------------------------------
 
@@ -149,6 +151,14 @@ class NodeStack final : public kernel::NetStack {
   /// Finishes (or re-blocks) a read that blocked waiting for data.
   kernel::SyscallStatus finish_recv(kernel::Cpu& cpu, kernel::Task& t, int fd,
                                     std::uint64_t bytes);
+  /// Rescan half of the multiplexed receive: consumes from the first ready
+  /// fd in `*fds` or re-registers `t` on every fd and blocks again.
+  kernel::SyscallStatus finish_recv_any(kernel::Cpu& cpu, kernel::Task& t,
+                                        const std::vector<int>* fds,
+                                        std::uint64_t bytes, int* out_fd);
+  /// Drops `t`'s waiter registrations across a poll set (a wake on one fd
+  /// leaves the others registered).
+  void clear_poll_waiters(const std::vector<int>& fds, kernel::Task& t);
   /// Registers `t` as the socket's single blocked/polling reader.  False —
   /// after counting the error and asserting in debug builds — if another
   /// task already holds the slot.
@@ -202,6 +212,9 @@ class NodeStack final : public kernel::NetStack {
   meas::EventId ev_eth_irq_;
   meas::EventId ev_net_rx_bytes_;
   meas::EventId ev_net_tx_bytes_;
+  /// Registered lazily on the first sys_recv_any call, so workloads that
+  /// never poll keep the event registry (and snapshot bytes) unchanged.
+  meas::EventId ev_sys_poll_ = meas::kNoEventId;
   kernel::Machine::IrqLine irq_line_ = 0;
 
   // retransmission-timer path (registered only when network faults are on)

@@ -46,7 +46,7 @@ EventMetrics& TaskProfile::slot(EventId ev) {
 }
 
 void TaskProfile::entry(EventId ev, sim::Cycles now) {
-  stack_.push_back(Frame{ev, now, 0});
+  stack_.push_back(Frame{ev, now, 0, request_tag_});
 }
 
 sim::Cycles TaskProfile::exit(EventId ev, sim::Cycles now) {
@@ -84,6 +84,14 @@ sim::Cycles TaskProfile::exit(EventId ev, sim::Cycles now) {
     b.excl += excl;
     b.epoch = epoch;
   }
+  last_closed_tag_ = frame.tag;
+  if (frame.tag != 0) {
+    EventMetrics& r = requests_[bridge_key(frame.tag, ev)];
+    ++r.count;
+    r.incl += incl;
+    r.excl += excl;
+    r.epoch = epoch;
+  }
   dirty_epoch_ = epoch;
   return incl;
 }
@@ -111,6 +119,7 @@ void TaskProfile::merge(const TaskProfile& other) {
   for (const auto& [ev, am] : other.atomics_) atomics_[ev].merge(am);
   for (const auto& [key, m] : other.bridge_) bridge_[key].merge(m);
   for (const auto& [key, m] : other.edges_) edges_[key].merge(m);
+  for (const auto& [key, m] : other.requests_) requests_[key].merge(m);
   callpath_ = callpath_ || other.callpath_;
   dirty_epoch_ = std::max(dirty_epoch_, other.dirty_epoch_);
 }

@@ -130,6 +130,25 @@ class TaskProfile {
   /// occurred while the user event was the process's user context.
   const MetricsMap& bridge() const { return bridge_; }
 
+  // -- request attribution (serving workloads, DESIGN.md §14) ---------------
+
+  /// Set by the application when it picks up / finishes a request; 0 means
+  /// "no request in flight".  Each probe entry captures the tag active at
+  /// entry time into its activation frame, so attribution follows the frame
+  /// (an exit pairs against the tag its entry saw, even if the tag changed
+  /// mid-activation — mirrors the §12 mask-flip pairing rule).
+  void set_request_tag(std::uint32_t tag) { request_tag_ = tag; }
+  std::uint32_t request_tag() const { return request_tag_; }
+
+  /// Tag carried by the most recently closed activation frame (0 if the
+  /// last exit was untagged or nothing has exited yet).  KtauSystem reads
+  /// this right after exit() to stamp the trace Exit record.
+  std::uint32_t last_closed_tag() const { return last_closed_tag_; }
+
+  /// (request tag << 32 | kernel event) -> metrics of kernel activations
+  /// whose entry fired while that request was in flight.
+  const MetricsMap& requests() const { return requests_; }
+
   // -- call-path profiling (paper §6 future work: "merged user-kernel
   //    call-graph profiles") -----------------------------------------------
 
@@ -156,6 +175,7 @@ class TaskProfile {
     EventId ev;
     sim::Cycles start;
     sim::Cycles child;  // cycles consumed by nested activations
+    std::uint32_t tag;  // request tag active when the frame was entered
   };
 
   EventMetrics& slot(EventId ev);
@@ -172,6 +192,9 @@ class TaskProfile {
   bool callpath_ = false;
   MetricsMap edges_;
   EventId user_context_ = kNoEventId;
+  std::uint32_t request_tag_ = 0;
+  std::uint32_t last_closed_tag_ = 0;
+  MetricsMap requests_;
   std::unique_ptr<TraceBuffer> trace_;
   const std::uint64_t* epoch_src_ = &kUnboundEpoch;
   std::uint64_t dirty_epoch_ = 0;

@@ -38,7 +38,8 @@ void KtauSystem::entry(CpuClock& clock, TaskProfile* prof, EventId ev) {
     prof->entry(ev, now);
     if (cfg_.tracing && contains(cfg_.trace_groups, g) &&
         prof->trace() != nullptr) {
-      prof->trace()->push({clock.cursor, ev, TraceType::Entry, 0});
+      prof->trace()->push({clock.cursor, ev, TraceType::Entry,
+                           prof->request_tag()});
       charge(clock, cfg_.overhead.trace_record_cost);
     }
   }
@@ -75,7 +76,8 @@ void KtauSystem::exit(CpuClock& clock, TaskProfile* prof, EventId ev) {
     prof->exit(ev, now);
     if (cfg_.tracing && contains(cfg_.trace_groups, g) &&
         prof->trace() != nullptr) {
-      prof->trace()->push({clock.cursor, ev, TraceType::Exit, 0});
+      prof->trace()->push({clock.cursor, ev, TraceType::Exit,
+                           prof->last_closed_tag()});
       charge(clock, cfg_.overhead.trace_record_cost);
     }
   }

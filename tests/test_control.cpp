@@ -243,6 +243,52 @@ TEST(MaskFlip, FlipUnderNestedFramesKeepsOuterFramePaired) {
   EXPECT_EQ(env.prof.metrics(env.sys_ev).count, 1u);
 }
 
+TEST(MaskFlip, OnToOffForceCloseKeepsRequestTag) {
+  // Extends the flip matrix with a tagged frame (DESIGN.md §14): the exit
+  // pairs against the in-flight entry, so the tag captured at entry — not
+  // the profile's live tag, not the mask — decides the request attribution
+  // and the trace Exit payload.
+  ProbeEnv env;
+  env.prof.set_request_tag(7);
+  env.sys.entry(env.clock, &env.prof, env.sys_ev);
+  env.prof.set_request_tag(0);  // request "ended" while the frame is open
+  env.sys.set_runtime_groups(meas::mask_of(Group::Sched));  // Syscall off
+  ASSERT_NO_THROW(env.sys.exit(env.clock, &env.prof, env.sys_ev));
+
+  // The force-closed frame credited its cycles to tag 7.
+  EXPECT_EQ(env.prof.last_closed_tag(), 7u);
+  const auto it =
+      env.prof.requests().find(meas::bridge_key(7, env.sys_ev));
+  ASSERT_NE(it, env.prof.requests().end());
+  EXPECT_EQ(it->second.count, 1u);
+  // Both trace records carry the tag, Entry and force-closed Exit alike.
+  std::vector<TraceRecord> out;
+  env.prof.trace()->read_from(0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].type, meas::TraceType::Entry);
+  EXPECT_EQ(out[0].value, 7u);
+  EXPECT_EQ(out[1].type, meas::TraceType::Exit);
+  EXPECT_EQ(out[1].value, 7u);
+}
+
+TEST(MaskFlip, OffToOnSuppressedEntryLeavesRequestsUntouched) {
+  // The mirror case: the entry was suppressed by the mask, so the matching
+  // exit after the flip has no frame — and therefore no tag to attribute,
+  // even though the profile's live tag is set.
+  ProbeEnv env;
+  env.sys.set_runtime_groups(meas::mask_of(Group::Sched));  // Syscall off
+  env.prof.set_request_tag(9);
+  env.sys.entry(env.clock, &env.prof, env.sys_ev);  // suppressed
+  env.sys.set_runtime_groups(meas::kAllGroups);
+  ASSERT_NO_THROW(env.sys.exit(env.clock, &env.prof, env.sys_ev));
+
+  EXPECT_EQ(env.prof.last_closed_tag(), 0u);
+  EXPECT_EQ(env.prof.requests().size(), 0u);
+  std::vector<TraceRecord> out;
+  env.prof.trace()->read_from(0, out);
+  EXPECT_TRUE(out.empty());
+}
+
 // -- mid-run flips against a live machine (the adaptd actuator path) ---------
 
 kernel::Program sleeper_program(int naps) {

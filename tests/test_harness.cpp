@@ -232,6 +232,29 @@ TEST(MatrixCli, RejectsBadInput) {
   EXPECT_FALSE(err.empty());
 }
 
+TEST(MatrixCli, ParsesShard) {
+  MatrixOptions opt;
+  EXPECT_EQ(opt.shard_index, 0);  // default selects everything
+  EXPECT_EQ(opt.shard_count, 1);
+  ASSERT_TRUE(parse({"--shard", "2/5"}, opt));
+  EXPECT_EQ(opt.shard_index, 2);
+  EXPECT_EQ(opt.shard_count, 5);
+  ASSERT_TRUE(parse({"--shard", "0/1"}, opt));
+  EXPECT_EQ(opt.shard_index, 0);
+  EXPECT_EQ(opt.shard_count, 1);
+}
+
+TEST(MatrixCli, RejectsBadShard) {
+  MatrixOptions opt;
+  std::string err;
+  for (const char* bad : {"x/y", "3", "3/", "/4", "-1/4", "4/4", "5/4",
+                          "0/0", "1/2junk"}) {
+    EXPECT_FALSE(parse({"--shard", bad}, opt, &err)) << bad;
+    EXPECT_NE(err.find("--shard"), std::string::npos) << bad;
+  }
+  EXPECT_FALSE(parse({"--shard"}, opt, &err));
+}
+
 // ---------------------------------------------------------------------------
 // JSON primitives
 // ---------------------------------------------------------------------------
@@ -368,6 +391,78 @@ TEST(RunMatrix, EmptySelectionIsAnError) {
   std::ostringstream out, info;
   EXPECT_EQ(run_matrix(opt, out, info), 1);
   EXPECT_NE(info.str().find("no scenario matches"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// --shard: deterministic unit partition
+// ---------------------------------------------------------------------------
+
+MatrixRun run_sharded(std::vector<std::string> filter, int index, int count,
+                      int trials = 1) {
+  MatrixOptions opt;
+  opt.filter = std::move(filter);
+  opt.trials = trials;
+  opt.shard_index = index;
+  opt.shard_count = count;
+  std::ostringstream out, info;
+  MatrixRun r;
+  r.failures = run_matrix(opt, out, info);
+  r.out = out.str();
+  r.json = info.str();  // reused field: shard messages land on info
+  return r;
+}
+
+TEST(RunMatrixShard, ZeroOfOneIsByteIdenticalToNoFlag) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  const auto plain = run_filtered({"zz_spine"}, 1, 2, /*with_json=*/false);
+  const auto sharded = run_sharded({"zz_spine"}, 0, 1, 2);
+  EXPECT_EQ(plain.out, sharded.out);
+  EXPECT_EQ(plain.failures, sharded.failures);
+}
+
+TEST(RunMatrixShard, TwoWayPartitionIsDisjointAndExhaustive) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  // 3 scenarios x 2 repeats = 6 units in canonical order; shards take the
+  // even and odd ordinals respectively.
+  const auto s0 = run_sharded({"zz_spine"}, 0, 2, 2);
+  const auto s1 = run_sharded({"zz_spine"}, 1, 2, 2);
+  EXPECT_EQ(s0.failures, 0);
+  EXPECT_EQ(s1.failures, 0);
+
+  // Each (scenario, repeat) unit header appears in exactly one shard and
+  // the union covers all six.  Canonical order interleaves repeats within
+  // a scenario, so the even shard gets every repeat 0 and the odd shard
+  // every repeat 1.
+  const auto count_of = [](const std::string& hay, const std::string& s) {
+    std::size_t n = 0;
+    for (std::size_t p = hay.find(s); p != std::string::npos;
+         p = hay.find(s, p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  for (const char* name : {"zz_spine_c", "zz_spine_a", "zz_spine_b"}) {
+    const std::string header = std::string(name) + " — ";
+    EXPECT_EQ(count_of(s0.out, header), 1u) << name;
+    EXPECT_EQ(count_of(s1.out, header), 1u) << name;
+  }
+  EXPECT_EQ(count_of(s0.out, "repeat 1/2"), 3u);
+  EXPECT_EQ(count_of(s0.out, "repeat 2/2"), 0u);
+  EXPECT_EQ(count_of(s1.out, "repeat 1/2"), 0u);
+  EXPECT_EQ(count_of(s1.out, "repeat 2/2"), 3u);
+}
+
+TEST(RunMatrixShard, EmptyShardIsNotAnError) {
+  ASSERT_TRUE(register_fixture_scenarios());
+  // One unit, four shards: three shards select nothing and must exit
+  // cleanly (machine-spreading CI depends on this).
+  const auto hit = run_sharded({"zz_spine_c"}, 0, 4);
+  const auto miss = run_sharded({"zz_spine_c"}, 3, 4);
+  EXPECT_EQ(hit.failures, 0);
+  EXPECT_GT(hit.out.size(), 0u);
+  EXPECT_EQ(miss.failures, 0);
+  EXPECT_EQ(miss.out.size(), 0u);
+  EXPECT_NE(miss.json.find("selects none"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

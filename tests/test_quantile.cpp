@@ -1,0 +1,133 @@
+// Quantile estimator + tail-breakdown view (analysis/quantile, DESIGN.md
+// §14): empty/single-sample conventions, exact nearest-rank boundaries,
+// insertion-order independence, the exact->binned switch, and the
+// deterministic tail/body split.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/quantile.hpp"
+
+namespace ktau::analysis {
+namespace {
+
+TEST(Quantile, EmptyReportsNaNEverywhere) {
+  QuantileEstimator q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_TRUE(std::isnan(q.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(q.min()));
+  EXPECT_TRUE(std::isnan(q.max()));
+  const PercentileTiles t = q.tiles();
+  EXPECT_EQ(t.count, 0u);
+  EXPECT_TRUE(std::isnan(t.p50));
+  EXPECT_TRUE(std::isnan(t.p999));
+}
+
+TEST(Quantile, SingleSampleIsEveryQuantile) {
+  QuantileEstimator q;
+  q.add(42.0);
+  EXPECT_EQ(q.quantile(0.0), 42.0);
+  EXPECT_EQ(q.quantile(0.5), 42.0);
+  EXPECT_EQ(q.quantile(1.0), 42.0);
+  EXPECT_EQ(q.min(), 42.0);
+  EXPECT_EQ(q.max(), 42.0);
+}
+
+TEST(Quantile, ExactNearestRankBoundaries) {
+  QuantileEstimator q;
+  for (int i = 100; i >= 1; --i) q.add(i);  // reverse order: sorting is ours
+
+  // Nearest-rank over 100 samples 1..100: the ceil(q*100)-th order
+  // statistic, with q=0 clamped to the first.
+  EXPECT_EQ(q.quantile(0.0), 1.0);
+  EXPECT_EQ(q.quantile(0.01), 1.0);    // rank ceil(1) = 1
+  EXPECT_EQ(q.quantile(0.011), 2.0);   // rank ceil(1.1) = 2
+  EXPECT_EQ(q.quantile(0.50), 50.0);   // rank 50 exactly
+  EXPECT_EQ(q.quantile(0.501), 51.0);  // just past the boundary
+  EXPECT_EQ(q.quantile(0.999), 100.0);
+  EXPECT_EQ(q.quantile(1.0), 100.0);
+}
+
+TEST(Quantile, InsertionOrderDoesNotMatterInExactMode) {
+  QuantileEstimator fwd, rev;
+  for (int i = 0; i < 257; ++i) {
+    fwd.add(i * 0.25);
+    rev.add((256 - i) * 0.25);
+  }
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(fwd.quantile(q), rev.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Quantile, BinnedModeTracksExactWithinBinWidth) {
+  // Tiny exact limit forces the histogram switch early; the binned
+  // estimate must stay within one bin width of the exact answer.
+  QuantileEstimator binned(/*exact_limit=*/32, /*bins=*/256);
+  QuantileEstimator exact(/*exact_limit=*/1 << 20);
+  for (int i = 0; i < 5000; ++i) {
+    // Deterministic low-discrepancy values in [0, 100); the coarse stride
+    // wraps within the first 32 samples, so the frozen bin range already
+    // covers the full distribution (the estimator's design assumption:
+    // early samples are representative of the range).
+    const double v = i * 37 % 100 + i * 13 % 97 / 97.0;
+    binned.add(v);
+    exact.add(v);
+  }
+  EXPECT_TRUE(binned.binned());
+  EXPECT_FALSE(exact.binned());
+  // Bin width is ~100/254; interpolation error stays within ~2 bins.
+  const double tol = 1.0;
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.999}) {
+    EXPECT_NEAR(binned.quantile(q), exact.quantile(q), tol) << "q=" << q;
+  }
+  // Outliers beyond the frozen range clamp to edge bins but min/max stay
+  // exact, and quantile estimates never extrapolate past them.
+  binned.add(1e6);
+  EXPECT_EQ(binned.max(), 1e6);
+  EXPECT_LE(binned.quantile(1.0), 1e6);
+}
+
+TEST(TailBreakdown, SplitsAtNearestRankAndComparesPaths) {
+  // 100 requests, latencies 1..100 ms.  The slowest 1% (the nearest-rank
+  // p99 position and above) is requests 99 and 100; only those carry the
+  // "irq" path, everything carries "service".
+  std::vector<RequestSample> reqs;
+  for (int i = 1; i <= 100; ++i) {
+    RequestSample s;
+    s.latency_sec = i * 1e-3;
+    s.paths.emplace_back("service", 0.5e-3);
+    if (i >= 99) s.paths.emplace_back("irq", 2e-3);
+    reqs.push_back(s);
+  }
+  const TailBreakdown b = tail_breakdown(reqs, 0.99);
+  EXPECT_DOUBLE_EQ(b.threshold_sec, 99e-3);
+  EXPECT_EQ(b.tail_count, 2u);
+  EXPECT_EQ(b.body_count, 98u);
+  ASSERT_EQ(b.paths.size(), 2u);
+  // Sorted by tail-body delta: irq (2 ms vs 0) ahead of service (equal).
+  EXPECT_EQ(b.paths[0].name, "irq");
+  EXPECT_DOUBLE_EQ(b.paths[0].tail_sec_per_req, 2e-3);
+  EXPECT_DOUBLE_EQ(b.paths[0].body_sec_per_req, 0.0);
+  EXPECT_EQ(b.paths[1].name, "service");
+  EXPECT_DOUBLE_EQ(b.paths[1].tail_sec_per_req, 0.5e-3);
+  EXPECT_DOUBLE_EQ(b.paths[1].body_sec_per_req, 0.5e-3);
+}
+
+TEST(TailBreakdown, EmptyAndTiesAreDeterministic) {
+  EXPECT_EQ(tail_breakdown({}, 0.99).tail_count, 0u);
+
+  // All-equal latencies: the nearest-rank split still yields a non-empty
+  // tail and the tie-break (original index) keeps the partition stable.
+  std::vector<RequestSample> reqs(10);
+  for (auto& r : reqs) r.latency_sec = 1.0;
+  const TailBreakdown a = tail_breakdown(reqs, 0.5);
+  const TailBreakdown b = tail_breakdown(reqs, 0.5);
+  EXPECT_EQ(a.tail_count, b.tail_count);
+  EXPECT_GE(a.tail_count, 1u);
+  EXPECT_EQ(a.tail_count + a.body_count, 10u);
+}
+
+}  // namespace
+}  // namespace ktau::analysis
