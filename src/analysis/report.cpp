@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 namespace ktau::analysis {
@@ -46,8 +47,17 @@ void write_json_double(std::ostream& os, double v) {
     os << "null";
     return;
   }
+  // Shortest %g precision that round-trips the exact bits (15 digits for
+  // most values, 17 in the worst case): 0.1 serializes as "0.1", not
+  // "0.10000000000000001".  This is THE number format of ktau-matrix-v1 —
+  // the matrixdoc reader parses with strtod and re-emits through this
+  // function, so documents that merge tools rewrite can never disagree
+  // with harness-written ones on a single byte.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   os << buf;
 }
 

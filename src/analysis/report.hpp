@@ -19,8 +19,12 @@ namespace ktau::analysis {
 /// Escapes a string for inclusion in a JSON document (quotes not included).
 std::string json_escape(std::string_view s);
 
-/// Deterministic double formatting: shortest-width round-trip via %.17g,
+/// Deterministic double formatting: the shortest %g precision (15..17
+/// significant digits) whose strtod round-trip restores the exact bits,
 /// with NaN/Inf mapped to null (JSON has no representation for them).
+/// This is the single number format shared by the ktau-matrix-v1 writer
+/// and the matrixdoc reader (DESIGN.md §15) — change it only in lockstep
+/// with both.
 void write_json_double(std::ostream& os, double v);
 
 /// Minimal streaming JSON writer with explicit structure calls.  The caller

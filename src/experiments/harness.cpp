@@ -13,6 +13,7 @@
 #include <ostream>
 #include <thread>
 
+#include "analysis/matrixdoc.hpp"
 #include "analysis/report.hpp"
 #include "sim/rng.hpp"
 
@@ -99,58 +100,52 @@ void print_unit_header(std::ostream& out, const Unit& unit, int total_repeats) {
   out << "==========================================================\n";
 }
 
-void write_matrix_json(std::ostream& os, const std::vector<Unit>& units,
-                       int trials_per_scenario, int failures) {
-  analysis::JsonWriter w(os);
-  w.begin_object();
-  w.kv("schema", "ktau-matrix-v1");
-  w.kv("trials_per_scenario", trials_per_scenario);
-  w.key("scenarios").begin_array();
-  // Units arrive grouped by scenario in canonical order; emit one scenario
-  // object per group with its repeats nested.
+/// Converts the executed units into the shared ktau-matrix-v1 document
+/// model (analysis/matrixdoc.hpp) — the ONE schema `matrixctl` reads back
+/// and re-emits, so the harness and the merge tool can never disagree on a
+/// byte.  Units arrive grouped by scenario in canonical order; sharded runs
+/// (`--shard i/N`, N > 1) are stamped so merge can prove the partition
+/// complete; the stamp is absent from unsharded documents, keeping them
+/// byte-identical to merged ones.
+analysis::MatrixDoc build_matrix_doc(const std::vector<Unit>& units,
+                                     int trials_per_scenario, int failures,
+                                     const MatrixOptions& opt,
+                                     std::size_t matched_units) {
+  analysis::MatrixDoc doc;
+  doc.trials_per_scenario = trials_per_scenario;
+  doc.failures = failures;
+  if (opt.shard_count > 1) {
+    doc.shard = analysis::ShardStamp{opt.shard_index, opt.shard_count,
+                                     static_cast<std::uint64_t>(matched_units)};
+  }
   for (std::size_t i = 0; i < units.size();) {
     const ScenarioSpec* spec = units[i].spec;
-    w.begin_object();
-    w.kv("name", spec->name);
-    w.kv("title", spec->title);
-    w.kv("scale", units[i].params.scale);
-    w.key("repeats").begin_array();
+    analysis::ScenarioEntry sc;
+    sc.name = spec->name;
+    sc.title = spec->title;
+    sc.scale = units[i].params.scale;
     for (; i < units.size() && units[i].spec == spec; ++i) {
       const Unit& u = units[i];
-      w.begin_object();
-      w.kv("repeat", u.params.repeat);
-      w.kv("salt", static_cast<std::uint64_t>(u.params.salt));
-      w.key("trials").begin_array();
+      analysis::RepeatEntry rep;
+      rep.repeat = u.params.repeat;
+      rep.salt = u.params.salt;
       for (std::size_t t = 0; t < u.trials.size(); ++t) {
-        w.begin_object();
-        w.kv("name", u.trials[t].name);
+        analysis::TrialEntry tr;
+        tr.name = u.trials[t].name;
         if (!u.errors[t].empty()) {
-          w.kv("error", u.errors[t]);
+          tr.failed = true;
+          tr.error = u.errors[t];
         } else {
-          w.key("metrics").begin_object();
-          for (const auto& [k, v] : u.results[t].metrics) w.kv(k, v);
-          w.end_object();
+          tr.metrics = u.results[t].metrics;
         }
-        w.end_object();
+        rep.trials.push_back(std::move(tr));
       }
-      w.end_array();
-      w.key("gates").begin_array();
-      for (const auto& g : u.gates) {
-        w.begin_object();
-        w.kv("name", g.name);
-        w.kv("pass", g.pass);
-        w.end_object();
-      }
-      w.end_array();
-      w.end_object();
+      for (const auto& g : u.gates) rep.gates.push_back({g.name, g.pass});
+      sc.repeats.push_back(std::move(rep));
     }
-    w.end_array();
-    w.end_object();
+    doc.scenarios.push_back(std::move(sc));
   }
-  w.end_array();
-  w.kv("failures", failures);
-  w.end_object();
-  os << "\n";
+  return doc;
 }
 
 }  // namespace
@@ -363,9 +358,21 @@ int run_matrix(const MatrixOptions& opt, std::ostream& out,
   if (units.empty()) {
     if (matched > 0) {
       // The filter matched, the shard is just empty (N exceeds the unit
-      // count): a valid partition outcome, not an error.
+      // count): a valid partition outcome, not an error.  Still write the
+      // (empty, stamped) document when asked — `matrixctl merge` needs
+      // every shard of a partition to present its stamp.
       info << "harness: shard " << opt.shard_index << "/" << opt.shard_count
            << " selects none of the " << matched << " unit(s)\n";
+      if (!opt.json_path.empty()) {
+        std::ofstream f(opt.json_path);
+        if (!f) {
+          info << "harness: cannot write " << opt.json_path << "\n";
+          return 1;
+        }
+        analysis::write_matrix_doc(
+            f, build_matrix_doc({}, opt.trials, 0, opt, matched));
+        info << "wrote " << opt.json_path << "\n";
+      }
       return 0;
     }
     info << "harness: no scenario matches the filter (try --list)\n";
@@ -457,7 +464,8 @@ int run_matrix(const MatrixOptions& opt, std::ostream& out,
       info << "harness: cannot write " << opt.json_path << "\n";
       ++failures;
     } else {
-      write_matrix_json(f, units, opt.trials, failures);
+      analysis::write_matrix_doc(
+          f, build_matrix_doc(units, opt.trials, failures, opt, matched));
       info << "wrote " << opt.json_path << "\n";
     }
   }
